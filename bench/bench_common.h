@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/factory.h"
+#include "common/index_interface.h"
+#include "datasets/dataset.h"
+#include "workload/runner.h"
+#include "workload/workload.h"
+
+namespace alt {
+namespace bench {
+
+/// Shared benchmark configuration, parsed from argv (`--keys 1000000`,
+/// `--threads 8`, `--ops 200000`, `--datasets libio,osm`, `--indexes alt,art`,
+/// `--bulk-fraction 0.5`, `--dataset-file path` to use a real SOSD binary).
+/// The env var ALT_BENCH_SCALE multiplies --keys and --ops (e.g. =10 for a
+/// server-scale run).
+struct BenchConfig {
+  size_t keys = 1000000;
+  int threads = 4;
+  size_t ops_per_thread = 100000;
+  double bulk_fraction = 0.5;
+  double zipf_theta = 0.99;
+  size_t scan_length = 100;
+  uint64_t seed = 42;
+  std::vector<Dataset> datasets = PaperDatasets();
+  std::vector<std::string> indexes = PaperIndexLineup();
+  std::string dataset_file;  // optional real SOSD file
+
+  static BenchConfig Parse(int argc, char** argv);
+};
+
+/// Dataset keys for `d` under `cfg` (generated, or loaded from --dataset-file).
+std::vector<Key> LoadKeys(const BenchConfig& cfg, Dataset d);
+
+/// Bulk-load `index` with cfg.bulk_fraction of `keys` (values = ValueFor) and
+/// return the split. Aborts on bulk-load failure.
+BenchSetup LoadIndex(ConcurrentIndex* index, const std::vector<Key>& keys,
+                     double bulk_fraction);
+
+/// Run `workload` against a freshly built `index_name` over `keys`.
+RunResult RunOne(const BenchConfig& cfg, const std::string& index_name,
+                 const std::vector<Key>& keys, WorkloadType workload,
+                 const AltOptions& alt_options = {});
+
+/// Printing helpers: paper-style aligned table rows.
+void PrintHeader(const std::string& title, const std::vector<std::string>& columns);
+void PrintRow(const std::vector<std::string>& cells);
+std::string Fmt(double v, int precision = 2);
+
+}  // namespace bench
+}  // namespace alt

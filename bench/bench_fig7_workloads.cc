@@ -1,0 +1,26 @@
+// Reproduces Fig. 7: throughput and P99.9 tail latency of all six indexes
+// under the five point-operation workloads (read-only, read-heavy, balanced,
+// write-heavy, write-only) on the four datasets.
+#include "bench_common.h"
+
+using namespace alt;
+using namespace alt::bench;
+
+int main(int argc, char** argv) {
+  const BenchConfig cfg = BenchConfig::Parse(argc, argv);
+  for (WorkloadType w : PaperWorkloads()) {
+    PrintHeader(std::string("Fig. 7: ") + WorkloadName(w) + " (" +
+                    std::to_string(cfg.threads) + " threads)",
+                {"Index", "Dataset", "Mops/s", "P99.9(us)", "failed"});
+    for (const auto& name : cfg.indexes) {
+      for (Dataset d : cfg.datasets) {
+        const auto keys = LoadKeys(cfg, d);
+        const RunResult r = RunOne(cfg, name, keys, w);
+        PrintRow({MakeIndex(name)->Name(), DatasetName(d), Fmt(r.throughput_mops),
+                  Fmt(static_cast<double>(r.p999_ns) / 1000.0),
+                  std::to_string(r.failed_ops)});
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Reproduces Fig. 8(a): memory overhead per index after bulk-loading half of
+// each dataset and inserting the rest. Expected shape: ALEX+ smallest,
+// ALT-index next (less than the delta-buffer designs), LIPP+ largest.
+#include "bench_common.h"
+#include "common/epoch.h"
+
+using namespace alt;
+using namespace alt::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::Parse(argc, argv);
+  PrintHeader("Fig. 8(a): memory overhead (bytes/key) after load + insert-all",
+              {"Index", "Dataset", "MB", "bytes/key"});
+  for (const auto& name : cfg.indexes) {
+    for (Dataset d : cfg.datasets) {
+      const auto keys = LoadKeys(cfg, d);
+      auto index = MakeIndex(name);
+      const BenchSetup setup = LoadIndex(index.get(), keys, cfg.bulk_fraction);
+      for (Key k : setup.pool) index->Insert(k, ValueFor(k));
+      const size_t bytes = index->MemoryUsage();
+      PrintRow({index->Name(), DatasetName(d),
+                Fmt(static_cast<double>(bytes) / 1048576.0),
+                Fmt(static_cast<double>(bytes) / static_cast<double>(keys.size()), 1)});
+      index.reset();
+      EpochManager::Global().DrainAll();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Reproduces Fig. 8(c): short-scan workload (100-key scans from Zipfian start
+// keys). ALEX+ wins (contiguous arrays); ALT-index pays for its dual-layer
+// merge but should stay competitive with the other learned indexes.
+#include "bench_common.h"
+
+using namespace alt;
+using namespace alt::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::Parse(argc, argv);
+  // Scans are 100x heavier than point ops; scale op counts down.
+  cfg.ops_per_thread = std::max<size_t>(1000, cfg.ops_per_thread / 25);
+  PrintHeader("Fig. 8(c): scan workload (100-key scans)",
+              {"Index", "Dataset", "Mops/s(scans)", "P99.9(us)"});
+  for (const auto& name : cfg.indexes) {
+    for (Dataset d : cfg.datasets) {
+      const auto keys = LoadKeys(cfg, d);
+      const RunResult r = RunOne(cfg, name, keys, WorkloadType::kScan);
+      PrintRow({MakeIndex(name)->Name(), DatasetName(d), Fmt(r.throughput_mops, 3),
+                Fmt(static_cast<double>(r.p999_ns) / 1000.0)});
+    }
+  }
+  return 0;
+}

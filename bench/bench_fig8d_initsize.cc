@@ -1,0 +1,27 @@
+// Reproduces Fig. 8(d): read throughput as the initialization (bulk-load)
+// ratio grows. Competitors slow down as more data means more models to
+// locate; ALT-index's GPL keeps the model count bounded so its curve is
+// flatter.
+#include "bench_common.h"
+
+using namespace alt;
+using namespace alt::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::Parse(argc, argv);
+  cfg.datasets = {Dataset::kOsm};  // the paper's Fig. 8(d) dataset
+  const auto keys = LoadKeys(cfg, Dataset::kOsm);
+  PrintHeader("Fig. 8(d): read-only throughput vs init ratio (osm, Mops/s)",
+              {"InitRatio", "ALT", "ALEX+", "LIPP+", "FINEdex", "XIndex", "ART"});
+  for (double ratio : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    BenchConfig c = cfg;
+    c.bulk_fraction = ratio;
+    std::vector<std::string> row{Fmt(ratio, 1)};
+    for (const char* name : {"alt", "alex", "lipp", "finedex", "xindex", "art"}) {
+      const RunResult r = RunOne(c, name, keys, WorkloadType::kReadOnly);
+      row.push_back(Fmt(r.throughput_mops));
+    }
+    PrintRow(row);
+  }
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Reproduces Fig. 8(e): throughput as the Zipfian skew theta grows (osm,
+// read-write-balanced reads). Higher skew means better cache locality, so
+// throughput rises; ALT-index should keep its lead throughout.
+#include "bench_common.h"
+
+using namespace alt;
+using namespace alt::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::Parse(argc, argv);
+  const auto keys = LoadKeys(cfg, Dataset::kOsm);
+  PrintHeader("Fig. 8(e): throughput vs zipf theta (osm, balanced, Mops/s)",
+              {"theta", "ALT", "ALEX+", "LIPP+", "FINEdex", "XIndex", "ART"});
+  for (double theta : {0.5, 0.7, 0.9, 0.99, 1.1, 1.3}) {
+    BenchConfig c = cfg;
+    c.zipf_theta = theta;
+    std::vector<std::string> row{Fmt(theta)};
+    for (const char* name : {"alt", "alex", "lipp", "finedex", "xindex", "art"}) {
+      const RunResult r = RunOne(c, name, keys, WorkloadType::kBalanced);
+      row.push_back(Fmt(r.throughput_mops));
+    }
+    PrintRow(row);
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Reproduces the paper's §I framing claim: "the average read performance of a
+// learned index is 1.5x-3x faster than that of a B-tree", plus §II-C's
+// motivation that ART out-inserts the learned designs. Read-only and
+// write-only sweeps of ALT-index vs the OLC B+-tree vs ART.
+#include "bench_common.h"
+
+using namespace alt;
+using namespace alt::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::Parse(argc, argv);
+  PrintHeader("Intro claim: learned index vs B+Tree vs ART (read-only, Mops/s)",
+              {"Dataset", "ALT-index", "B+Tree(OLC)", "ART", "ALT/BTree"});
+  for (Dataset d : cfg.datasets) {
+    const auto keys = LoadKeys(cfg, d);
+    const RunResult alt_r = RunOne(cfg, "alt", keys, WorkloadType::kReadOnly);
+    const RunResult bt_r = RunOne(cfg, "btree-olc", keys, WorkloadType::kReadOnly);
+    const RunResult art_r = RunOne(cfg, "art", keys, WorkloadType::kReadOnly);
+    PrintRow({DatasetName(d), Fmt(alt_r.throughput_mops), Fmt(bt_r.throughput_mops),
+              Fmt(art_r.throughput_mops),
+              Fmt(alt_r.throughput_mops / bt_r.throughput_mops) + "x"});
+  }
+
+  PrintHeader("Motivation: insert performance (write-only, Mops/s)",
+              {"Dataset", "ALT-index", "B+Tree(OLC)", "ART"});
+  for (Dataset d : cfg.datasets) {
+    const auto keys = LoadKeys(cfg, d);
+    const RunResult alt_r = RunOne(cfg, "alt", keys, WorkloadType::kWriteOnly);
+    const RunResult bt_r = RunOne(cfg, "btree-olc", keys, WorkloadType::kWriteOnly);
+    const RunResult art_r = RunOne(cfg, "art", keys, WorkloadType::kWriteOnly);
+    PrintRow({DatasetName(d), Fmt(alt_r.throughput_mops), Fmt(bt_r.throughput_mops),
+              Fmt(art_r.throughput_mops)});
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// google-benchmark micro-benchmarks for the ART-OPT substrate: point ops and
+// the fast-pointer hint entry points (LookupFrom vs root Lookup).
+#include <benchmark/benchmark.h>
+
+#include "art/art_tree.h"
+#include "common/epoch.h"
+#include "common/random.h"
+#include "datasets/dataset.h"
+
+namespace {
+
+using namespace alt;
+
+struct Fixture {
+  art::ArtTree tree;
+  std::vector<Key> keys;
+  art::Node* lca = nullptr;
+
+  explicit Fixture(size_t n) {
+    keys = GenerateKeys(Dataset::kOsm, n, 3);
+    EpochGuard g;
+    for (size_t i = 0; i < keys.size(); ++i) tree.Insert(keys[i], ValueFor(keys[i]));
+    int depth = 0;
+    lca = tree.FindLcaNode(keys[n / 4], keys[n / 4 + n / 64], &depth);
+  }
+};
+
+Fixture& GlobalFixture() {
+  static Fixture f(200000);
+  return f;
+}
+
+void BM_ArtLookup(benchmark::State& state) {
+  auto& f = GlobalFixture();
+  EpochGuard g;
+  size_t i = 0;
+  for (auto _ : state) {
+    Value v;
+    benchmark::DoNotOptimize(f.tree.Lookup(f.keys[i % f.keys.size()], &v));
+    i += 7919;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_ArtLookupFromHint(benchmark::State& state) {
+  auto& f = GlobalFixture();
+  EpochGuard g;
+  const size_t base = f.keys.size() / 4;
+  const size_t span = f.keys.size() / 64;
+  size_t i = 0;
+  for (auto _ : state) {
+    Value v;
+    benchmark::DoNotOptimize(
+        f.tree.LookupFrom(f.lca, f.keys[base + (i % span)], &v));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_ArtInsertRemove(benchmark::State& state) {
+  auto& f = GlobalFixture();
+  EpochGuard g;
+  uint64_t salt = 0x123456789abcdefULL;
+  for (auto _ : state) {
+    const Key k = Mix64(salt++) | 1;  // avoid colliding with the fixture keys
+    f.tree.Insert(k, 1);
+    f.tree.Remove(k);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * 2));
+}
+
+void BM_ArtScan100(benchmark::State& state) {
+  auto& f = GlobalFixture();
+  EpochGuard g;
+  std::vector<std::pair<Key, Value>> out;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.tree.Scan(f.keys[(i * 131) % f.keys.size()], 100, &out));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * 100));
+}
+
+}  // namespace
+
+BENCHMARK(BM_ArtLookup);
+BENCHMARK(BM_ArtLookupFromHint);
+BENCHMARK(BM_ArtInsertRemove);
+BENCHMARK(BM_ArtScan100);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// google-benchmark micro-benchmarks for the segmentation algorithms: GPL
+// (Alg. 1) vs ShrinkingCone (FITing-tree / FINEdex's LPA family). Both are
+// O(n); GPL's cheaper per-point update (slope min/max vs two divisions)
+// shows up in ns/key.
+#include <benchmark/benchmark.h>
+
+#include "core/gpl.h"
+#include "datasets/dataset.h"
+
+namespace {
+
+using alt::Dataset;
+using alt::GenerateKeys;
+using alt::Key;
+
+const std::vector<Key>& KeysFor(int dataset_idx) {
+  static std::vector<Key> cache[4];
+  auto ds = alt::PaperDatasets()[static_cast<size_t>(dataset_idx)];
+  auto& keys = cache[dataset_idx];
+  if (keys.empty()) keys = GenerateKeys(ds, 200000, 11);
+  return keys;
+}
+
+void BM_GplSegment(benchmark::State& state) {
+  const auto& keys = KeysFor(static_cast<int>(state.range(0)));
+  const double eps = static_cast<double>(state.range(1));
+  size_t models = 0;
+  for (auto _ : state) {
+    auto segs = alt::GplSegment(keys.data(), keys.size(), eps);
+    benchmark::DoNotOptimize(segs);
+    models = segs.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * keys.size()));
+  state.counters["models"] = static_cast<double>(models);
+}
+
+void BM_ShrinkingCone(benchmark::State& state) {
+  const auto& keys = KeysFor(static_cast<int>(state.range(0)));
+  const double eps = static_cast<double>(state.range(1));
+  size_t models = 0;
+  for (auto _ : state) {
+    auto segs = alt::ShrinkingConeSegment(keys.data(), keys.size(), eps);
+    benchmark::DoNotOptimize(segs);
+    models = segs.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * keys.size()));
+  state.counters["models"] = static_cast<double>(models);
+}
+
+}  // namespace
+
+BENCHMARK(BM_GplSegment)
+    ->ArgsProduct({{0, 1, 2, 3}, {32, 256}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ShrinkingCone)
+    ->ArgsProduct({{0, 1, 2, 3}, {32, 256}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

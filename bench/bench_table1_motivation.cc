@@ -1,0 +1,31 @@
+// Reproduces Table I: throughput and P99.9 latency of the concurrent
+// updatable learned indexes and ART on libio and osm under the
+// read-write-balanced workload. The paper's takeaway — no single competitor
+// combines high throughput with low tail latency on both datasets, while ART
+// is surprisingly strong — should reproduce in shape.
+#include "bench_common.h"
+
+using namespace alt;
+using namespace alt::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::Parse(argc, argv);
+  cfg.datasets = {Dataset::kLibio, Dataset::kOsm};
+
+  PrintHeader("Table I: motivation (read-write-balanced, " +
+                  std::to_string(cfg.threads) + " threads)",
+              {"Index", "Dataset", "Mops/s", "P99.9(us)", "P50(ns)"});
+  for (const char* name : {"alex", "lipp", "finedex", "xindex", "art"}) {
+    for (Dataset d : cfg.datasets) {
+      const auto keys = LoadKeys(cfg, d);
+      const RunResult r = RunOne(cfg, name, keys, WorkloadType::kBalanced);
+      PrintRow({MakeIndex(name)->Name(), DatasetName(d), Fmt(r.throughput_mops),
+                Fmt(static_cast<double>(r.p999_ns) / 1000.0),
+                std::to_string(r.p50_ns)});
+    }
+  }
+  std::printf(
+      "\nLimitations (paper column): ALEX+ = data shifting, LIPP+ = statistic\n"
+      "info, FINEdex/XIndex = prediction error, ART = node traversal.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// workload_explorer: compare every index in this repository on a workload of
+// your choice — a command-line harness over the shared ConcurrentIndex facade.
+//
+//   $ ./build/examples/workload_explorer [dataset] [workload] [threads] [keys]
+//   $ ./build/examples/workload_explorer osm balanced 4 200000
+//
+// datasets : libio osm fb longlat uniform lognormal sequential
+// workloads: read-only read-heavy balanced write-heavy write-only scan
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "baselines/factory.h"
+#include "common/epoch.h"
+#include "datasets/dataset.h"
+#include "workload/runner.h"
+#include "workload/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace alt;
+  const std::string dataset_name = argc > 1 ? argv[1] : "osm";
+  const std::string workload_name = argc > 2 ? argv[2] : "balanced";
+  const int threads = argc > 3 ? std::atoi(argv[3]) : 4;
+  const size_t num_keys = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 200000;
+
+  Dataset dataset;
+  WorkloadType workload;
+  if (!ParseDataset(dataset_name, &dataset).ok() ||
+      !ParseWorkload(workload_name, &workload).ok()) {
+    std::fprintf(stderr,
+                 "usage: %s [dataset] [workload] [threads] [keys]\n"
+                 "datasets: libio osm fb longlat uniform lognormal sequential\n"
+                 "workloads: read-only read-heavy balanced write-heavy "
+                 "write-only scan\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::printf("dataset=%s workload=%s threads=%d keys=%zu\n\n",
+              DatasetName(dataset), WorkloadName(workload), threads, num_keys);
+  const auto keys = GenerateKeys(dataset, num_keys, 42);
+  const auto setup = SplitDataset(keys, 0.5);
+
+  std::printf("%-14s %10s %12s %12s %8s\n", "index", "Mops/s", "P99.9(us)",
+              "mem(MB)", "failed");
+  for (const auto& name : PaperIndexLineup()) {
+    auto index = MakeIndex(name);
+    std::vector<Value> vals(setup.loaded.size());
+    for (size_t i = 0; i < vals.size(); ++i) vals[i] = ValueFor(setup.loaded[i]);
+    if (!index->BulkLoad(setup.loaded.data(), vals.data(), setup.loaded.size()).ok()) {
+      std::fprintf(stderr, "%s: bulk load failed\n", name.c_str());
+      continue;
+    }
+    WorkloadOptions opts;
+    opts.type = workload;
+    opts.ops_per_thread = 50000;
+    const auto streams = GenerateOpStreams(setup.loaded, setup.pool, threads, opts);
+    const RunResult r = RunWorkload(index.get(), streams);
+    std::printf("%-14s %10.2f %12.2f %12.1f %8llu\n", index->Name().c_str(),
+                r.throughput_mops, static_cast<double>(r.p999_ns) / 1000.0,
+                static_cast<double>(index->MemoryUsage()) / 1048576.0,
+                static_cast<unsigned long long>(r.failed_ops));
+    index.reset();
+    EpochManager::Global().DrainAll();
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Build and run the test suite under AddressSanitizer+UBSan and (optionally)
+# ThreadSanitizer. Usage: scripts/run_sanitizers.sh [asan|tsan|all]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-asan}"
+
+run_asan() {
+  cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -O1 -fno-omit-frame-pointer" \
+    -DALT_BUILD_BENCHMARKS=OFF -DALT_BUILD_EXAMPLES=OFF
+  cmake --build build-asan
+  ctest --test-dir build-asan --output-on-failure
+}
+
+run_tsan() {
+  cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -fno-omit-frame-pointer" \
+    -DALT_BUILD_BENCHMARKS=OFF -DALT_BUILD_EXAMPLES=OFF
+  cmake --build build-tsan
+  # Focus on the concurrency-heavy binaries; the full suite is slow under TSan.
+  TSAN_OPTIONS="halt_on_error=0" ./build-tsan/tests/art_test
+  TSAN_OPTIONS="halt_on_error=0" ./build-tsan/tests/retraining_test
+  TSAN_OPTIONS="halt_on_error=0" ./build-tsan/tests/concurrency_test
+  TSAN_OPTIONS="halt_on_error=0" ./build-tsan/tests/olc_btree_test
+}
+
+case "$mode" in
+  asan) run_asan ;;
+  tsan) run_tsan ;;
+  all) run_asan; run_tsan ;;
+  *) echo "usage: $0 [asan|tsan|all]" >&2; exit 2 ;;
+esac

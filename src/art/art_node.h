@@ -1,0 +1,183 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+
+#include "common/key_codec.h"
+#include "common/spinlock.h"
+
+namespace alt {
+namespace art {
+
+/// ART node kinds (Leis et al., ICDE'13): the four adaptive fanouts.
+enum class NodeType : uint8_t { kNode4 = 0, kNode16 = 1, kNode48 = 2, kNode256 = 3 };
+
+struct Node;
+
+/// \brief Single-value leaf. Child pointers tag leaves by setting bit 0.
+///
+/// Keys are fixed 8 bytes, so a leaf can never be an internal prefix of another
+/// key; the final equality check against `key` suffices for correctness.
+struct Leaf {
+  Key key;
+  std::atomic<Value> value;
+
+  Leaf(Key k, Value v) : key(k), value(v) {}
+};
+
+inline bool IsLeaf(const Node* p) { return (reinterpret_cast<uintptr_t>(p) & 1u) != 0; }
+inline Leaf* ToLeaf(Node* p) {
+  return reinterpret_cast<Leaf*>(reinterpret_cast<uintptr_t>(p) & ~uintptr_t{1});
+}
+inline const Leaf* ToLeaf(const Node* p) {
+  return reinterpret_cast<const Leaf*>(reinterpret_cast<uintptr_t>(p) & ~uintptr_t{1});
+}
+inline Node* TagLeaf(Leaf* l) {
+  return reinterpret_cast<Node*>(reinterpret_cast<uintptr_t>(l) | 1u);
+}
+
+/// \brief Common node header with the optimistic-lock-coupling version word
+/// (Leis et al., DaMoN'16): bit 1 = write-locked, bit 0 = obsolete,
+/// bits 63..2 = version counter. Writers CAS `v -> v + 0b10` to lock and
+/// `fetch_add(0b10)` to unlock (which also bumps the counter).
+///
+/// All mutable fields readers may race on are atomics; optimistic readers use
+/// relaxed/acquire loads and re-validate the version afterwards (seqlock
+/// pattern), so torn intermediate states are never acted upon.
+///
+/// ART-OPT extensions (§III-C of the ALT-index paper):
+///  - `match_level`: depth in key bytes already consumed when traversal reaches
+///    this node; lets a fast-pointer jump resume mid-tree.
+///  - `fp_slot`: index of the fast-pointer-buffer entry targeting this node
+///    (-1 if none), so structure-modification callbacks are O(1).
+///  - the compressed path is packed into one atomic word (`prefix_word`,
+///    big-endian byte order) so prefix updates during splits are race-free.
+struct Node {
+  std::atomic<uint64_t> version{0};
+  std::atomic<uint64_t> prefix_word{0};
+  const NodeType type;
+  std::atomic<uint8_t> prefix_len{0};
+  std::atomic<uint8_t> match_level{0};
+  std::atomic<uint16_t> num_children{0};
+  std::atomic<int32_t> fp_slot{-1};
+
+  explicit Node(NodeType t) : type(t) {}
+
+  // ---- compressed path helpers -------------------------------------------
+
+  /// Byte `i` (0-based) of the compressed path.
+  static uint8_t PrefixByte(uint64_t word, int i) {
+    return static_cast<uint8_t>(word >> (8 * (kKeyBytes - 1 - i)));
+  }
+
+  /// Store a compressed path taken from `key`'s bytes [from, from+len).
+  void SetPrefix(Key key, int from, int len) {
+    uint64_t w = (len <= 0) ? 0 : (key << (8 * from));
+    prefix_word.store(w, std::memory_order_relaxed);
+    prefix_len.store(static_cast<uint8_t>(len), std::memory_order_relaxed);
+  }
+
+  /// Drop the first `n` bytes of the compressed path (prefix split).
+  void ChopPrefix(int n) {
+    uint64_t w = prefix_word.load(std::memory_order_relaxed);
+    prefix_word.store(w << (8 * n), std::memory_order_relaxed);
+    prefix_len.store(static_cast<uint8_t>(prefix_len.load(std::memory_order_relaxed) - n),
+                     std::memory_order_relaxed);
+  }
+
+  // ---- optimistic lock coupling -------------------------------------------
+
+  static bool IsLocked(uint64_t v) { return (v & 2u) != 0; }
+  static bool IsObsolete(uint64_t v) { return (v & 1u) != 0; }
+
+  /// Spin until unlocked; \return version, or set *need_restart on obsolete.
+  uint64_t ReadLockOrRestart(bool* need_restart) const {
+    uint64_t v = version.load(std::memory_order_acquire);
+    while (IsLocked(v)) {
+      CpuRelax();
+      v = version.load(std::memory_order_acquire);
+    }
+    if (IsObsolete(v)) *need_restart = true;
+    return v;
+  }
+
+  /// Validate that nothing changed since `v` was read. The acquire fence keeps
+  /// the preceding data loads from being ordered after the version re-read.
+  void CheckOrRestart(uint64_t v, bool* need_restart) const {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (version.load(std::memory_order_relaxed) != v) *need_restart = true;
+  }
+
+  /// Try to atomically upgrade the optimistic read at `v` to a write lock.
+  void UpgradeToWriteLockOrRestart(uint64_t& v, bool* need_restart) {
+    if (!version.compare_exchange_strong(v, v + 2, std::memory_order_acquire)) {
+      *need_restart = true;
+    } else {
+      v += 2;
+    }
+  }
+
+  void WriteUnlock() { version.fetch_add(2, std::memory_order_release); }
+
+  /// Unlock and mark obsolete in one step; readers holding old versions will
+  /// restart, and the memory is reclaimed via the epoch manager.
+  void WriteUnlockObsolete() { version.fetch_add(3, std::memory_order_release); }
+};
+
+/// Fanout-4 node: parallel sorted key/child arrays.
+struct Node4 : Node {
+  std::atomic<uint8_t> keys[4];
+  std::atomic<Node*> children[4];
+
+  Node4() : Node(NodeType::kNode4) {
+    for (auto& k : keys) k.store(0, std::memory_order_relaxed);
+    for (auto& c : children) c.store(nullptr, std::memory_order_relaxed);
+  }
+};
+
+/// Fanout-16 node: parallel sorted key/child arrays.
+struct Node16 : Node {
+  std::atomic<uint8_t> keys[16];
+  std::atomic<Node*> children[16];
+
+  Node16() : Node(NodeType::kNode16) {
+    for (auto& k : keys) k.store(0, std::memory_order_relaxed);
+    for (auto& c : children) c.store(nullptr, std::memory_order_relaxed);
+  }
+};
+
+/// Fanout-48 node: 256-entry byte -> child-slot indirection (0xFF = empty).
+struct Node48 : Node {
+  static constexpr uint8_t kEmpty = 0xFF;
+  std::atomic<uint8_t> child_index[256];
+  std::atomic<Node*> children[48];
+
+  Node48() : Node(NodeType::kNode48) {
+    for (auto& i : child_index) i.store(kEmpty, std::memory_order_relaxed);
+    for (auto& c : children) c.store(nullptr, std::memory_order_relaxed);
+  }
+};
+
+/// Fanout-256 node: direct byte-indexed child array.
+struct Node256 : Node {
+  std::atomic<Node*> children[256];
+
+  Node256() : Node(NodeType::kNode256) {
+    for (auto& c : children) c.store(nullptr, std::memory_order_relaxed);
+  }
+};
+
+/// Size in bytes of a node of the given type (for memory accounting).
+inline size_t NodeBytes(NodeType t) {
+  switch (t) {
+    case NodeType::kNode4: return sizeof(Node4);
+    case NodeType::kNode16: return sizeof(Node16);
+    case NodeType::kNode48: return sizeof(Node48);
+    case NodeType::kNode256: return sizeof(Node256);
+  }
+  return 0;
+}
+
+}  // namespace art
+}  // namespace alt

@@ -1,0 +1,1028 @@
+#include "art/art_tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/epoch.h"
+
+namespace alt {
+namespace art {
+
+namespace {
+
+constexpr uint64_t kLockedBit = 2;
+
+// ---------------------------------------------------------------------------
+// Node helpers. All mutating helpers require the caller to hold the node's
+// write lock; read helpers are safe for optimistic readers (who must validate
+// the version afterwards).
+// ---------------------------------------------------------------------------
+
+Node* GetChild(const Node* n, uint8_t byte) {
+  switch (n->type) {
+    case NodeType::kNode4: {
+      auto* p = static_cast<const Node4*>(n);
+      int cnt = n->num_children.load(std::memory_order_relaxed);
+      if (cnt > 4) cnt = 4;
+      for (int i = 0; i < cnt; ++i) {
+        if (p->keys[i].load(std::memory_order_relaxed) == byte) {
+          return p->children[i].load(std::memory_order_acquire);
+        }
+      }
+      return nullptr;
+    }
+    case NodeType::kNode16: {
+      auto* p = static_cast<const Node16*>(n);
+      int cnt = n->num_children.load(std::memory_order_relaxed);
+      if (cnt > 16) cnt = 16;
+      for (int i = 0; i < cnt; ++i) {
+        if (p->keys[i].load(std::memory_order_relaxed) == byte) {
+          return p->children[i].load(std::memory_order_acquire);
+        }
+      }
+      return nullptr;
+    }
+    case NodeType::kNode48: {
+      auto* p = static_cast<const Node48*>(n);
+      uint8_t idx = p->child_index[byte].load(std::memory_order_acquire);
+      if (idx == Node48::kEmpty) return nullptr;
+      return p->children[idx].load(std::memory_order_acquire);
+    }
+    case NodeType::kNode256: {
+      auto* p = static_cast<const Node256*>(n);
+      return p->children[byte].load(std::memory_order_acquire);
+    }
+  }
+  return nullptr;
+}
+
+bool IsFull(const Node* n) {
+  int cnt = n->num_children.load(std::memory_order_relaxed);
+  switch (n->type) {
+    case NodeType::kNode4: return cnt >= 4;
+    case NodeType::kNode16: return cnt >= 16;
+    case NodeType::kNode48: return cnt >= 48;
+    case NodeType::kNode256: return false;
+  }
+  return false;
+}
+
+// Insert (byte -> child) into a node with spare capacity; keeps Node4/Node16
+// key arrays sorted so ordered scans are cheap.
+void AddChild(Node* n, uint8_t byte, Node* child) {
+  switch (n->type) {
+    case NodeType::kNode4: {
+      auto* p = static_cast<Node4*>(n);
+      int cnt = n->num_children.load(std::memory_order_relaxed);
+      int pos = 0;
+      while (pos < cnt && p->keys[pos].load(std::memory_order_relaxed) < byte) ++pos;
+      for (int i = cnt; i > pos; --i) {
+        p->keys[i].store(p->keys[i - 1].load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+        p->children[i].store(p->children[i - 1].load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+      }
+      p->keys[pos].store(byte, std::memory_order_relaxed);
+      p->children[pos].store(child, std::memory_order_release);
+      n->num_children.store(static_cast<uint16_t>(cnt + 1), std::memory_order_release);
+      return;
+    }
+    case NodeType::kNode16: {
+      auto* p = static_cast<Node16*>(n);
+      int cnt = n->num_children.load(std::memory_order_relaxed);
+      int pos = 0;
+      while (pos < cnt && p->keys[pos].load(std::memory_order_relaxed) < byte) ++pos;
+      for (int i = cnt; i > pos; --i) {
+        p->keys[i].store(p->keys[i - 1].load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+        p->children[i].store(p->children[i - 1].load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+      }
+      p->keys[pos].store(byte, std::memory_order_relaxed);
+      p->children[pos].store(child, std::memory_order_release);
+      n->num_children.store(static_cast<uint16_t>(cnt + 1), std::memory_order_release);
+      return;
+    }
+    case NodeType::kNode48: {
+      auto* p = static_cast<Node48*>(n);
+      int slot = 0;
+      while (p->children[slot].load(std::memory_order_relaxed) != nullptr) ++slot;
+      p->children[slot].store(child, std::memory_order_release);
+      p->child_index[byte].store(static_cast<uint8_t>(slot), std::memory_order_release);
+      n->num_children.fetch_add(1, std::memory_order_release);
+      return;
+    }
+    case NodeType::kNode256: {
+      auto* p = static_cast<Node256*>(n);
+      p->children[byte].store(child, std::memory_order_release);
+      n->num_children.fetch_add(1, std::memory_order_release);
+      return;
+    }
+  }
+}
+
+// Overwrite an existing (byte -> child) mapping.
+void ReplaceChild(Node* n, uint8_t byte, Node* child) {
+  switch (n->type) {
+    case NodeType::kNode4: {
+      auto* p = static_cast<Node4*>(n);
+      int cnt = n->num_children.load(std::memory_order_relaxed);
+      for (int i = 0; i < cnt; ++i) {
+        if (p->keys[i].load(std::memory_order_relaxed) == byte) {
+          p->children[i].store(child, std::memory_order_release);
+          return;
+        }
+      }
+      break;
+    }
+    case NodeType::kNode16: {
+      auto* p = static_cast<Node16*>(n);
+      int cnt = n->num_children.load(std::memory_order_relaxed);
+      for (int i = 0; i < cnt; ++i) {
+        if (p->keys[i].load(std::memory_order_relaxed) == byte) {
+          p->children[i].store(child, std::memory_order_release);
+          return;
+        }
+      }
+      break;
+    }
+    case NodeType::kNode48: {
+      auto* p = static_cast<Node48*>(n);
+      uint8_t idx = p->child_index[byte].load(std::memory_order_relaxed);
+      p->children[idx].store(child, std::memory_order_release);
+      return;
+    }
+    case NodeType::kNode256: {
+      auto* p = static_cast<Node256*>(n);
+      p->children[byte].store(child, std::memory_order_release);
+      return;
+    }
+  }
+  assert(false && "ReplaceChild: byte not present");
+}
+
+// Remove the (byte -> child) mapping; requires the entry to exist.
+void RemoveChildEntry(Node* n, uint8_t byte) {
+  switch (n->type) {
+    case NodeType::kNode4:
+    case NodeType::kNode16: {
+      // Shared layout up to capacity; handle via per-type arrays.
+      if (n->type == NodeType::kNode4) {
+        auto* p = static_cast<Node4*>(n);
+        int cnt = n->num_children.load(std::memory_order_relaxed);
+        int pos = 0;
+        while (pos < cnt && p->keys[pos].load(std::memory_order_relaxed) != byte) ++pos;
+        assert(pos < cnt);
+        for (int i = pos; i < cnt - 1; ++i) {
+          p->keys[i].store(p->keys[i + 1].load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+          p->children[i].store(p->children[i + 1].load(std::memory_order_relaxed),
+                               std::memory_order_relaxed);
+        }
+        p->children[cnt - 1].store(nullptr, std::memory_order_relaxed);
+        n->num_children.store(static_cast<uint16_t>(cnt - 1), std::memory_order_release);
+      } else {
+        auto* p = static_cast<Node16*>(n);
+        int cnt = n->num_children.load(std::memory_order_relaxed);
+        int pos = 0;
+        while (pos < cnt && p->keys[pos].load(std::memory_order_relaxed) != byte) ++pos;
+        assert(pos < cnt);
+        for (int i = pos; i < cnt - 1; ++i) {
+          p->keys[i].store(p->keys[i + 1].load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+          p->children[i].store(p->children[i + 1].load(std::memory_order_relaxed),
+                               std::memory_order_relaxed);
+        }
+        p->children[cnt - 1].store(nullptr, std::memory_order_relaxed);
+        n->num_children.store(static_cast<uint16_t>(cnt - 1), std::memory_order_release);
+      }
+      return;
+    }
+    case NodeType::kNode48: {
+      auto* p = static_cast<Node48*>(n);
+      uint8_t idx = p->child_index[byte].load(std::memory_order_relaxed);
+      assert(idx != Node48::kEmpty);
+      p->child_index[byte].store(Node48::kEmpty, std::memory_order_release);
+      p->children[idx].store(nullptr, std::memory_order_relaxed);
+      n->num_children.fetch_sub(1, std::memory_order_release);
+      return;
+    }
+    case NodeType::kNode256: {
+      auto* p = static_cast<Node256*>(n);
+      p->children[byte].store(nullptr, std::memory_order_release);
+      n->num_children.fetch_sub(1, std::memory_order_release);
+      return;
+    }
+  }
+}
+
+// The single remaining child of a node with num_children == 1.
+Node* GetOnlyChild(Node* n, uint8_t* byte_out) {
+  switch (n->type) {
+    case NodeType::kNode4: {
+      auto* p = static_cast<Node4*>(n);
+      *byte_out = p->keys[0].load(std::memory_order_relaxed);
+      return p->children[0].load(std::memory_order_relaxed);
+    }
+    case NodeType::kNode16: {
+      auto* p = static_cast<Node16*>(n);
+      *byte_out = p->keys[0].load(std::memory_order_relaxed);
+      return p->children[0].load(std::memory_order_relaxed);
+    }
+    case NodeType::kNode48: {
+      auto* p = static_cast<Node48*>(n);
+      for (int b = 0; b < 256; ++b) {
+        uint8_t idx = p->child_index[b].load(std::memory_order_relaxed);
+        if (idx != Node48::kEmpty) {
+          *byte_out = static_cast<uint8_t>(b);
+          return p->children[idx].load(std::memory_order_relaxed);
+        }
+      }
+      return nullptr;
+    }
+    case NodeType::kNode256: {
+      auto* p = static_cast<Node256*>(n);
+      for (int b = 0; b < 256; ++b) {
+        Node* c = p->children[b].load(std::memory_order_relaxed);
+        if (c != nullptr) {
+          *byte_out = static_cast<uint8_t>(b);
+          return c;
+        }
+      }
+      return nullptr;
+    }
+  }
+  return nullptr;
+}
+
+// Copy all (byte, child) entries of `n` into caller arrays; returns count.
+int CollectEntries(const Node* n, uint8_t* bytes, Node** children) {
+  int out = 0;
+  switch (n->type) {
+    case NodeType::kNode4: {
+      auto* p = static_cast<const Node4*>(n);
+      int cnt = n->num_children.load(std::memory_order_relaxed);
+      for (int i = 0; i < cnt && i < 4; ++i) {
+        bytes[out] = p->keys[i].load(std::memory_order_relaxed);
+        children[out++] = p->children[i].load(std::memory_order_acquire);
+      }
+      break;
+    }
+    case NodeType::kNode16: {
+      auto* p = static_cast<const Node16*>(n);
+      int cnt = n->num_children.load(std::memory_order_relaxed);
+      for (int i = 0; i < cnt && i < 16; ++i) {
+        bytes[out] = p->keys[i].load(std::memory_order_relaxed);
+        children[out++] = p->children[i].load(std::memory_order_acquire);
+      }
+      break;
+    }
+    case NodeType::kNode48: {
+      auto* p = static_cast<const Node48*>(n);
+      for (int b = 0; b < 256; ++b) {
+        uint8_t idx = p->child_index[b].load(std::memory_order_acquire);
+        if (idx == Node48::kEmpty) continue;
+        Node* c = p->children[idx].load(std::memory_order_acquire);
+        if (c == nullptr) continue;
+        bytes[out] = static_cast<uint8_t>(b);
+        children[out++] = c;
+      }
+      break;
+    }
+    case NodeType::kNode256: {
+      auto* p = static_cast<const Node256*>(n);
+      for (int b = 0; b < 256; ++b) {
+        Node* c = p->children[b].load(std::memory_order_acquire);
+        if (c == nullptr) continue;
+        bytes[out] = static_cast<uint8_t>(b);
+        children[out++] = c;
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+void CopyHeader(Node* dst, const Node* src) {
+  dst->prefix_word.store(src->prefix_word.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  dst->prefix_len.store(src->prefix_len.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  dst->match_level.store(src->match_level.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+}
+
+// Allocate the next-size node, copy entries + header, return it WRITE-LOCKED so
+// it cannot be modified by other threads until the caller publishes + unlocks.
+Node* Grow(Node* n) {
+  uint8_t bytes[256];
+  Node* children[256];
+  const int cnt = CollectEntries(n, bytes, children);
+  Node* bigger = nullptr;
+  switch (n->type) {
+    case NodeType::kNode4: bigger = new Node16(); break;
+    case NodeType::kNode16: bigger = new Node48(); break;
+    case NodeType::kNode48: bigger = new Node256(); break;
+    case NodeType::kNode256: assert(false && "Node256 cannot grow"); return nullptr;
+  }
+  bigger->version.store(kLockedBit, std::memory_order_relaxed);
+  CopyHeader(bigger, n);
+  for (int i = 0; i < cnt; ++i) AddChild(bigger, bytes[i], children[i]);
+  return bigger;
+}
+
+// Allocate the next smaller node minus the child keyed `skip_byte`; returns it
+// write-locked (same publication discipline as Grow).
+Node* ShrinkWithout(Node* n, uint8_t skip_byte) {
+  uint8_t bytes[256];
+  Node* children[256];
+  const int cnt = CollectEntries(n, bytes, children);
+  Node* smaller = nullptr;
+  switch (n->type) {
+    case NodeType::kNode16: smaller = new Node4(); break;
+    case NodeType::kNode48: smaller = new Node16(); break;
+    case NodeType::kNode256: smaller = new Node48(); break;
+    case NodeType::kNode4: assert(false && "Node4 cannot shrink"); return nullptr;
+  }
+  smaller->version.store(kLockedBit, std::memory_order_relaxed);
+  CopyHeader(smaller, n);
+  for (int i = 0; i < cnt; ++i) {
+    if (bytes[i] == skip_byte) continue;
+    AddChild(smaller, bytes[i], children[i]);
+  }
+  return smaller;
+}
+
+// Shrink threshold: shrink only when clearly below the smaller capacity so a
+// single insert does not immediately grow again (hysteresis).
+bool ShouldShrink(const Node* n, int cnt_after) {
+  switch (n->type) {
+    case NodeType::kNode4: return false;
+    case NodeType::kNode16: return cnt_after <= 3;
+    case NodeType::kNode48: return cnt_after <= 12;
+    case NodeType::kNode256: return cnt_after <= 40;
+  }
+  return false;
+}
+
+void DeleteNode(Node* n) {
+  switch (n->type) {
+    case NodeType::kNode4: delete static_cast<Node4*>(n); return;
+    case NodeType::kNode16: delete static_cast<Node16*>(n); return;
+    case NodeType::kNode48: delete static_cast<Node48*>(n); return;
+    case NodeType::kNode256: delete static_cast<Node256*>(n); return;
+  }
+}
+
+void RetireNode(Node* n) {
+  EpochManager::Global().Retire(n, [](void* p) { DeleteNode(static_cast<Node*>(p)); });
+}
+
+void RetireLeaf(Leaf* l) {
+  EpochManager::Global().Retire(l, [](void* p) { delete static_cast<Leaf*>(p); });
+}
+
+void DeleteSubtree(Node* n) {
+  if (IsLeaf(n)) {
+    delete ToLeaf(n);
+    return;
+  }
+  uint8_t bytes[256];
+  Node* children[256];
+  const int cnt = CollectEntries(n, bytes, children);
+  for (int i = 0; i < cnt; ++i) DeleteSubtree(children[i]);
+  DeleteNode(n);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Tree
+// ---------------------------------------------------------------------------
+
+ArtTree::ArtTree() { root_ = new Node256(); }
+
+ArtTree::~ArtTree() {
+  // Quiescent teardown: free remaining structure directly.
+  DeleteSubtree(root_);
+}
+
+// ---- Lookup ----------------------------------------------------------------
+
+ArtTree::OpResult ArtTree::LookupImpl(Node* start, Key key, Value* out, int* steps) const {
+  bool restart = false;
+  Node* node = start;
+  uint64_t v = node->ReadLockOrRestart(&restart);
+  if (restart) return (start == root_) ? OpResult::kRestart : OpResult::kNeedRoot;
+  int depth = node->match_level.load(std::memory_order_relaxed);
+
+  for (;;) {
+    if (steps != nullptr) ++(*steps);
+    const int plen = node->prefix_len.load(std::memory_order_relaxed);
+    if (plen > 0) {
+      const uint64_t pword = node->prefix_word.load(std::memory_order_relaxed);
+      for (int i = 0; i < plen; ++i) {
+        if (Node::PrefixByte(pword, i) != KeyByte(key, depth + i)) {
+          node->CheckOrRestart(v, &restart);
+          return restart ? OpResult::kRestart : OpResult::kNotFound;
+        }
+      }
+      depth += plen;
+    }
+    assert(depth < kKeyBytes);
+    const uint8_t byte = KeyByte(key, depth);
+    Node* child = GetChild(node, byte);
+    node->CheckOrRestart(v, &restart);
+    if (restart) return OpResult::kRestart;
+    if (child == nullptr) return OpResult::kNotFound;
+    if (IsLeaf(child)) {
+      const Leaf* leaf = ToLeaf(child);
+      if (leaf->key != key) return OpResult::kNotFound;
+      *out = leaf->value.load(std::memory_order_acquire);
+      return OpResult::kDone;
+    }
+    Node* next = child;
+    uint64_t nv = next->ReadLockOrRestart(&restart);
+    if (restart) return OpResult::kRestart;
+    node->CheckOrRestart(v, &restart);
+    if (restart) return OpResult::kRestart;
+    node = next;
+    v = nv;
+    depth += 1;
+  }
+}
+
+bool ArtTree::Lookup(Key key, Value* out, int* steps) const {
+  for (;;) {
+    OpResult r = LookupImpl(root_, key, out, steps);
+    if (r == OpResult::kDone) return true;
+    if (r == OpResult::kNotFound) return false;
+  }
+}
+
+HintOutcome ArtTree::LookupFrom(Node* hint, Key key, Value* out, int* steps) const {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    OpResult r = LookupImpl(hint, key, out, steps);
+    switch (r) {
+      case OpResult::kDone: return HintOutcome::kFound;
+      case OpResult::kNotFound: return HintOutcome::kNotFound;
+      case OpResult::kNeedRoot: return HintOutcome::kNeedRoot;
+      default: break;  // kRestart: retry from the hint
+    }
+  }
+  return HintOutcome::kNeedRoot;
+}
+
+// ---- Insert ----------------------------------------------------------------
+
+ArtTree::OpResult ArtTree::InsertImpl(Node* start, Node* start_parent,
+                                      uint8_t start_parent_byte, Key key, Value value) {
+  bool restart = false;
+  Node* parent = start_parent;
+  uint64_t pv = 0;
+  uint8_t pbyte = start_parent_byte;
+
+  Node* node = start;
+  uint64_t v = node->ReadLockOrRestart(&restart);
+  if (restart) return (start == root_) ? OpResult::kRestart : OpResult::kNeedRoot;
+  if (parent != nullptr) {
+    pv = parent->ReadLockOrRestart(&restart);
+    if (restart) return OpResult::kRestart;
+  }
+  int depth = node->match_level.load(std::memory_order_relaxed);
+
+  for (;;) {
+    // -- compressed path --------------------------------------------------
+    const int plen = node->prefix_len.load(std::memory_order_relaxed);
+    if (plen > 0) {
+      const uint64_t pword = node->prefix_word.load(std::memory_order_relaxed);
+      int cpl = 0;
+      while (cpl < plen && Node::PrefixByte(pword, cpl) == KeyByte(key, depth + cpl)) ++cpl;
+      if (cpl < plen) {
+        // Prefix mismatch: extract the shared prefix into a new parent Node4
+        // (paper scenario ① when `node` carries a fast pointer).
+        node->CheckOrRestart(v, &restart);
+        if (restart) return OpResult::kRestart;
+        if (parent == nullptr) return OpResult::kNeedRoot;  // hint-based: parent unknown
+        parent->UpgradeToWriteLockOrRestart(pv, &restart);
+        if (restart) return OpResult::kRestart;
+        node->UpgradeToWriteLockOrRestart(v, &restart);
+        if (restart) {
+          parent->WriteUnlock();
+          return OpResult::kRestart;
+        }
+        auto* np = new Node4();
+        np->version.store(kLockedBit, std::memory_order_relaxed);
+        np->prefix_word.store(pword, std::memory_order_relaxed);
+        np->prefix_len.store(static_cast<uint8_t>(cpl), std::memory_order_relaxed);
+        np->match_level.store(static_cast<uint8_t>(depth), std::memory_order_relaxed);
+        const uint8_t node_branch = Node::PrefixByte(pword, cpl);
+        const uint8_t key_branch = KeyByte(key, depth + cpl);
+        auto* leaf = new Leaf(key, value);
+        AddChild(np, node_branch, node);
+        AddChild(np, key_branch, TagLeaf(leaf));
+        node->ChopPrefix(cpl + 1);
+        node->match_level.store(static_cast<uint8_t>(depth + cpl + 1),
+                                std::memory_order_relaxed);
+        const int32_t slot = node->fp_slot.load(std::memory_order_relaxed);
+        if (slot >= 0) {
+          node->fp_slot.store(-1, std::memory_order_relaxed);
+          np->fp_slot.store(slot, std::memory_order_relaxed);
+          if (listener_ != nullptr) listener_->OnPrefixSplit(slot, node, np);
+        }
+        ReplaceChild(parent, pbyte, np);
+        node->WriteUnlock();
+        np->WriteUnlock();
+        parent->WriteUnlock();
+        size_.fetch_add(1, std::memory_order_relaxed);
+        return OpResult::kDone;
+      }
+      depth += plen;
+    }
+    assert(depth < kKeyBytes);
+
+    const uint8_t byte = KeyByte(key, depth);
+    Node* child = GetChild(node, byte);
+    node->CheckOrRestart(v, &restart);
+    if (restart) return OpResult::kRestart;
+
+    if (child == nullptr) {
+      if (IsFull(node)) {
+        // Node expansion (paper scenario ②): replace with the next size.
+        if (parent == nullptr) return OpResult::kNeedRoot;  // hint itself must grow
+        parent->UpgradeToWriteLockOrRestart(pv, &restart);
+        if (restart) return OpResult::kRestart;
+        node->UpgradeToWriteLockOrRestart(v, &restart);
+        if (restart) {
+          parent->WriteUnlock();
+          return OpResult::kRestart;
+        }
+        Node* bigger = Grow(node);
+        auto* leaf = new Leaf(key, value);
+        AddChild(bigger, byte, TagLeaf(leaf));
+        const int32_t slot = node->fp_slot.load(std::memory_order_relaxed);
+        if (slot >= 0) {
+          bigger->fp_slot.store(slot, std::memory_order_relaxed);
+          if (listener_ != nullptr) listener_->OnNodeReplaced(slot, node, bigger);
+        }
+        ReplaceChild(parent, pbyte, bigger);
+        node->WriteUnlockObsolete();
+        RetireNode(node);
+        bigger->WriteUnlock();
+        parent->WriteUnlock();
+        size_.fetch_add(1, std::memory_order_relaxed);
+        return OpResult::kDone;
+      }
+      node->UpgradeToWriteLockOrRestart(v, &restart);
+      if (restart) return OpResult::kRestart;
+      // Re-check under the lock: another writer may have added `byte` between
+      // our optimistic read and the upgrade... impossible: upgrade validated
+      // the version, so the optimistic read still holds. Insert directly.
+      auto* leaf = new Leaf(key, value);
+      AddChild(node, byte, TagLeaf(leaf));
+      node->WriteUnlock();
+      size_.fetch_add(1, std::memory_order_relaxed);
+      return OpResult::kDone;
+    }
+
+    if (IsLeaf(child)) {
+      Leaf* existing = ToLeaf(child);
+      const Key ekey = existing->key;
+      node->CheckOrRestart(v, &restart);
+      if (restart) return OpResult::kRestart;
+      if (ekey == key) return OpResult::kExists;
+      // Split the leaf: new Node4 holding the two leaves under their first
+      // divergent byte, with the shared bytes as its compressed path.
+      node->UpgradeToWriteLockOrRestart(v, &restart);
+      if (restart) return OpResult::kRestart;
+      const int d2 = depth + 1;
+      int cpl = 0;
+      while (KeyByte(key, d2 + cpl) == KeyByte(ekey, d2 + cpl)) ++cpl;
+      auto* nn = new Node4();
+      nn->match_level.store(static_cast<uint8_t>(d2), std::memory_order_relaxed);
+      nn->SetPrefix(key, d2, cpl);
+      auto* leaf = new Leaf(key, value);
+      AddChild(nn, KeyByte(ekey, d2 + cpl), child);
+      AddChild(nn, KeyByte(key, d2 + cpl), TagLeaf(leaf));
+      ReplaceChild(node, byte, nn);
+      node->WriteUnlock();
+      size_.fetch_add(1, std::memory_order_relaxed);
+      return OpResult::kDone;
+    }
+
+    // -- descend with lock coupling ----------------------------------------
+    parent = node;
+    pv = v;
+    pbyte = byte;
+    Node* next = child;
+    uint64_t nv = next->ReadLockOrRestart(&restart);
+    if (restart) return OpResult::kRestart;
+    node->CheckOrRestart(v, &restart);
+    if (restart) return OpResult::kRestart;
+    node = next;
+    v = nv;
+    depth += 1;
+  }
+}
+
+bool ArtTree::Insert(Key key, Value value) {
+  for (;;) {
+    OpResult r = InsertImpl(root_, nullptr, 0, key, value);
+    if (r == OpResult::kDone) return true;
+    if (r == OpResult::kExists) return false;
+  }
+}
+
+HintOutcome ArtTree::InsertFrom(Node* hint, Key key, Value value) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    OpResult r = InsertImpl(hint, nullptr, 0, key, value);
+    switch (r) {
+      case OpResult::kDone: return HintOutcome::kInserted;
+      case OpResult::kExists: return HintOutcome::kExists;
+      case OpResult::kNeedRoot: return HintOutcome::kNeedRoot;
+      default: break;  // retry from the hint
+    }
+  }
+  return HintOutcome::kNeedRoot;
+}
+
+bool ArtTree::Update(Key key, Value value) {
+  for (;;) {
+    bool restart = false;
+    Node* node = root_;
+    uint64_t v = node->ReadLockOrRestart(&restart);
+    if (restart) continue;
+    int depth = 0;
+    for (;;) {
+      const int plen = node->prefix_len.load(std::memory_order_relaxed);
+      if (plen > 0) {
+        const uint64_t pword = node->prefix_word.load(std::memory_order_relaxed);
+        bool mismatch = false;
+        for (int i = 0; i < plen; ++i) {
+          if (Node::PrefixByte(pword, i) != KeyByte(key, depth + i)) {
+            mismatch = true;
+            break;
+          }
+        }
+        if (mismatch) {
+          node->CheckOrRestart(v, &restart);
+          if (restart) break;
+          return false;
+        }
+        depth += plen;
+      }
+      const uint8_t byte = KeyByte(key, depth);
+      Node* child = GetChild(node, byte);
+      node->CheckOrRestart(v, &restart);
+      if (restart) break;
+      if (child == nullptr) return false;
+      if (IsLeaf(child)) {
+        Leaf* leaf = ToLeaf(child);
+        if (leaf->key != key) return false;
+        leaf->value.store(value, std::memory_order_release);
+        // Validate the leaf was still reachable when we stored; else retry so
+        // we do not update a detached leaf that a remove already unlinked.
+        node->CheckOrRestart(v, &restart);
+        if (restart) break;
+        return true;
+      }
+      Node* next = child;
+      uint64_t nv = next->ReadLockOrRestart(&restart);
+      if (restart) break;
+      node->CheckOrRestart(v, &restart);
+      if (restart) break;
+      node = next;
+      v = nv;
+      depth += 1;
+    }
+  }
+}
+
+// ---- Remove ----------------------------------------------------------------
+
+ArtTree::OpResult ArtTree::RemoveImpl(Key key, Value* old_value) {
+  bool restart = false;
+  Node* parent = nullptr;
+  uint64_t pv = 0;
+  uint8_t pbyte = 0;
+
+  Node* node = root_;
+  uint64_t v = node->ReadLockOrRestart(&restart);
+  if (restart) return OpResult::kRestart;
+  int depth = 0;
+
+  for (;;) {
+    const int plen = node->prefix_len.load(std::memory_order_relaxed);
+    if (plen > 0) {
+      const uint64_t pword = node->prefix_word.load(std::memory_order_relaxed);
+      for (int i = 0; i < plen; ++i) {
+        if (Node::PrefixByte(pword, i) != KeyByte(key, depth + i)) {
+          node->CheckOrRestart(v, &restart);
+          return restart ? OpResult::kRestart : OpResult::kNotFound;
+        }
+      }
+      depth += plen;
+    }
+    const uint8_t byte = KeyByte(key, depth);
+    Node* child = GetChild(node, byte);
+    node->CheckOrRestart(v, &restart);
+    if (restart) return OpResult::kRestart;
+    if (child == nullptr) return OpResult::kNotFound;
+
+    if (IsLeaf(child)) {
+      Leaf* leaf = ToLeaf(child);
+      const Key ekey = leaf->key;
+      node->CheckOrRestart(v, &restart);
+      if (restart) return OpResult::kRestart;
+      if (ekey != key) return OpResult::kNotFound;
+      if (old_value != nullptr) {
+        *old_value = leaf->value.load(std::memory_order_acquire);
+      }
+
+      const int cnt = node->num_children.load(std::memory_order_relaxed);
+
+      if (cnt == 2 && node != root_) {
+        // Merging the node away: its one remaining child absorbs the node's
+        // compressed path plus the branch byte.
+        if (parent == nullptr) return OpResult::kRestart;
+        parent->UpgradeToWriteLockOrRestart(pv, &restart);
+        if (restart) return OpResult::kRestart;
+        node->UpgradeToWriteLockOrRestart(v, &restart);
+        if (restart) {
+          parent->WriteUnlock();
+          return OpResult::kRestart;
+        }
+        RemoveChildEntry(node, byte);
+        uint8_t sibling_byte = 0;
+        Node* sibling = GetOnlyChild(node, &sibling_byte);
+        assert(sibling != nullptr);
+        if (IsLeaf(sibling)) {
+          ReplaceChild(parent, pbyte, sibling);
+          const int32_t slot = node->fp_slot.load(std::memory_order_relaxed);
+          if (slot >= 0) {
+            // The surviving child is a leaf; hand the entry to the parent,
+            // which still covers the whole removed subtree's range. The
+            // listener decides whether the parent can adopt it.
+            node->fp_slot.store(-1, std::memory_order_relaxed);
+            if (listener_ != nullptr) listener_->OnNodeRemoved(slot, node, parent);
+          }
+        } else {
+          // Lock the sibling, then prepend node's path + branch byte to it.
+          // Safe to spin while holding parent+node: writers acquire locks
+          // strictly top-down, so whoever holds the sibling cannot be waiting
+          // on locks we hold.
+          for (;;) {
+            uint64_t sv = sibling->version.load(std::memory_order_acquire);
+            if (!Node::IsLocked(sv) &&
+                sibling->version.compare_exchange_weak(sv, sv + 2,
+                                                       std::memory_order_acquire)) {
+              break;
+            }
+            CpuRelax();
+          }
+          const int nplen = node->prefix_len.load(std::memory_order_relaxed);
+          const uint64_t npword = node->prefix_word.load(std::memory_order_relaxed);
+          const int splen = sibling->prefix_len.load(std::memory_order_relaxed);
+          const uint64_t spword = sibling->prefix_word.load(std::memory_order_relaxed);
+          uint64_t w = 0;
+          if (nplen > 0) w = npword & (~uint64_t{0} << (8 * (kKeyBytes - nplen)));
+          w |= uint64_t{sibling_byte} << (8 * (kKeyBytes - 1 - nplen));
+          if (splen > 0) w |= spword >> (8 * (nplen + 1));
+          sibling->prefix_word.store(w, std::memory_order_relaxed);
+          sibling->prefix_len.store(static_cast<uint8_t>(nplen + 1 + splen),
+                                    std::memory_order_relaxed);
+          sibling->match_level.store(node->match_level.load(std::memory_order_relaxed),
+                                     std::memory_order_relaxed);
+          const int32_t slot = node->fp_slot.load(std::memory_order_relaxed);
+          if (slot >= 0) {
+            // The listener adopts the entry into `sibling` iff it has none.
+            node->fp_slot.store(-1, std::memory_order_relaxed);
+            if (listener_ != nullptr) listener_->OnNodeRemoved(slot, node, sibling);
+          }
+          ReplaceChild(parent, pbyte, sibling);
+          sibling->WriteUnlock();
+        }
+        node->WriteUnlockObsolete();
+        RetireNode(node);
+        RetireLeaf(leaf);
+        parent->WriteUnlock();
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        return OpResult::kDone;
+      }
+
+      if (ShouldShrink(node, cnt - 1) && node != root_ && parent != nullptr) {
+        parent->UpgradeToWriteLockOrRestart(pv, &restart);
+        if (restart) return OpResult::kRestart;
+        node->UpgradeToWriteLockOrRestart(v, &restart);
+        if (restart) {
+          parent->WriteUnlock();
+          return OpResult::kRestart;
+        }
+        Node* smaller = ShrinkWithout(node, byte);
+        const int32_t slot = node->fp_slot.load(std::memory_order_relaxed);
+        if (slot >= 0) {
+          smaller->fp_slot.store(slot, std::memory_order_relaxed);
+          if (listener_ != nullptr) listener_->OnNodeReplaced(slot, node, smaller);
+        }
+        ReplaceChild(parent, pbyte, smaller);
+        node->WriteUnlockObsolete();
+        RetireNode(node);
+        smaller->WriteUnlock();
+        parent->WriteUnlock();
+        RetireLeaf(leaf);
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        return OpResult::kDone;
+      }
+
+      // Plain removal in place.
+      node->UpgradeToWriteLockOrRestart(v, &restart);
+      if (restart) return OpResult::kRestart;
+      RemoveChildEntry(node, byte);
+      node->WriteUnlock();
+      RetireLeaf(leaf);
+      size_.fetch_sub(1, std::memory_order_relaxed);
+      return OpResult::kDone;
+    }
+
+    parent = node;
+    pv = v;
+    pbyte = byte;
+    Node* next = child;
+    uint64_t nv = next->ReadLockOrRestart(&restart);
+    if (restart) return OpResult::kRestart;
+    node->CheckOrRestart(v, &restart);
+    if (restart) return OpResult::kRestart;
+    node = next;
+    v = nv;
+    depth += 1;
+  }
+}
+
+bool ArtTree::Remove(Key key, Value* old_value) {
+  for (;;) {
+    OpResult r = RemoveImpl(key, old_value);
+    if (r == OpResult::kDone) return true;
+    if (r == OpResult::kNotFound) return false;
+  }
+}
+
+// ---- Scans -------------------------------------------------------------
+
+bool ArtTree::ScanCollect(const Node* node, Key acc, Key lo, Key hi, size_t max_items,
+                          std::vector<std::pair<Key, Value>>* out, int* restarts) const {
+  bool restart = false;
+  for (;;) {
+    restart = false;
+    const uint64_t v = node->ReadLockOrRestart(&restart);
+    if (restart) {
+      // Node became obsolete mid-scan: signal a full restart.
+      ++(*restarts);
+      return false;
+    }
+    // Fold the compressed path into the accumulated key prefix, so child
+    // subtrees can be pruned against [lo, hi].
+    const int depth = node->match_level.load(std::memory_order_relaxed);
+    const int plen = node->prefix_len.load(std::memory_order_relaxed);
+    const uint64_t pword = node->prefix_word.load(std::memory_order_relaxed);
+    Key folded = acc;
+    for (int i = 0; i < plen; ++i) {
+      const int pos = depth + i;
+      folded &= ~(Key{0xFF} << (8 * (kKeyBytes - 1 - pos)));
+      folded |= Key{Node::PrefixByte(pword, i)} << (8 * (kKeyBytes - 1 - pos));
+    }
+    const int branch_depth = depth + plen;
+    uint8_t bytes[256];
+    Node* children[256];
+    const int cnt = CollectEntries(node, bytes, children);
+    node->CheckOrRestart(v, &restart);
+    if (restart) {
+      ++(*restarts);
+      if (*restarts > 1024) return false;
+      continue;  // re-read this node
+    }
+    const size_t checkpoint = out->size();
+    const int shift = 8 * (kKeyBytes - 1 - branch_depth);
+    const Key low_mask =
+        branch_depth + 1 >= kKeyBytes ? 0 : (Key{1} << (8 * (kKeyBytes - 1 - branch_depth))) - 1;
+    for (int i = 0; i < cnt; ++i) {
+      if (out->size() >= max_items) return true;
+      Node* c = children[i];
+      if (IsLeaf(c)) {
+        const Leaf* leaf = ToLeaf(c);
+        const Key k = leaf->key;
+        if (k >= lo && k <= hi) {
+          out->emplace_back(k, leaf->value.load(std::memory_order_acquire));
+        }
+        continue;
+      }
+      // Child subtree spans [child_acc, child_acc | low_mask]; prune it
+      // against the query window (children are byte-ordered, so subtrees
+      // beyond hi end the loop).
+      Key child_acc = folded & ~(Key{0xFF} << shift);
+      child_acc |= Key{bytes[i]} << shift;
+      const Key sub_lo = child_acc;
+      const Key sub_hi = child_acc | low_mask;
+      if (sub_hi < lo) continue;
+      if (sub_lo > hi) break;
+      if (!ScanCollect(c, child_acc, lo, hi, max_items, out, restarts)) {
+        out->resize(checkpoint);
+        return false;
+      }
+    }
+    return true;
+  }
+}
+
+size_t ArtTree::Scan(Key lo, size_t max_items,
+                     std::vector<std::pair<Key, Value>>* out) const {
+  if (max_items == 0) return 0;
+  for (;;) {
+    out->clear();
+    int restarts = 0;
+    // Children are visited in byte order, so collection is ascending; the
+    // sort below is a cheap safety net against torn-but-validated orders.
+    if (ScanCollect(root_, 0, lo, ~Key{0}, max_items, out, &restarts)) {
+      std::sort(out->begin(), out->end());
+      if (out->size() > max_items) out->resize(max_items);
+      return out->size();
+    }
+  }
+}
+
+size_t ArtTree::RangeQuery(Key lo, Key hi, std::vector<std::pair<Key, Value>>* out) const {
+  for (;;) {
+    out->clear();
+    int restarts = 0;
+    if (ScanCollect(root_, 0, lo, hi, ~size_t{0}, out, &restarts)) {
+      std::sort(out->begin(), out->end());
+      return out->size();
+    }
+  }
+}
+
+// ---- Structure utilities ----------------------------------------------------
+
+Node* ArtTree::FindLcaNode(Key lo, Key hi, int* depth_out) const {
+  Node* node = root_;
+  int depth = 0;
+  for (;;) {
+    const int plen = node->prefix_len.load(std::memory_order_relaxed);
+    if (plen > 0) {
+      const uint64_t pword = node->prefix_word.load(std::memory_order_relaxed);
+      for (int i = 0; i < plen; ++i) {
+        const uint8_t pb = Node::PrefixByte(pword, i);
+        if (pb != KeyByte(lo, depth + i) || pb != KeyByte(hi, depth + i)) {
+          // Keys diverge inside this node's compressed path (or leave the
+          // tree's populated space): this node is the deepest cover.
+          *depth_out = node->match_level.load(std::memory_order_relaxed);
+          return node;
+        }
+      }
+      depth += plen;
+    }
+    const uint8_t blo = KeyByte(lo, depth);
+    const uint8_t bhi = KeyByte(hi, depth);
+    if (blo != bhi) {
+      *depth_out = node->match_level.load(std::memory_order_relaxed);
+      return node;
+    }
+    Node* child = GetChild(node, blo);
+    if (child == nullptr || IsLeaf(child)) {
+      *depth_out = node->match_level.load(std::memory_order_relaxed);
+      return node;
+    }
+    node = child;
+    depth += 1;
+  }
+}
+
+namespace {
+void CollectStatsRec(const Node* n, size_t depth, ArtTree::Stats* s) {
+  if (IsLeaf(n)) {
+    s->leaves++;
+    s->bytes += sizeof(Leaf);
+    if (depth > s->height) s->height = depth;
+    return;
+  }
+  switch (n->type) {
+    case NodeType::kNode4: s->n4++; break;
+    case NodeType::kNode16: s->n16++; break;
+    case NodeType::kNode48: s->n48++; break;
+    case NodeType::kNode256: s->n256++; break;
+  }
+  s->bytes += NodeBytes(n->type);
+  uint8_t bytes[256];
+  Node* children[256];
+  const int cnt = CollectEntries(n, bytes, children);
+  for (int i = 0; i < cnt; ++i) CollectStatsRec(children[i], depth + 1, s);
+}
+}  // namespace
+
+ArtTree::Stats ArtTree::CollectStats() const {
+  Stats s;
+  CollectStatsRec(root_, 0, &s);
+  return s;
+}
+
+}  // namespace art
+}  // namespace alt

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "art/art_node.h"
+#include "common/key_codec.h"
+
+namespace alt {
+namespace art {
+
+/// \brief Callbacks fired by ArtTree during structure modifications that affect
+/// a node referenced by a fast-pointer-buffer entry (ALT-index §III-C3).
+///
+/// All callbacks run while the affected node's write lock is held, so the
+/// buffer update is atomic with respect to the modification as required for the
+/// invariant "entry i covers all keys of the GPL models mapped to it".
+class ArtStructureListener {
+ public:
+  virtual ~ArtStructureListener() = default;
+
+  /// Scenario ② — node expansion/shrink replaced `old_node` with `new_node`
+  /// (same coverage, same depth). The entry must be swung to `new_node`.
+  virtual void OnNodeReplaced(int32_t slot, Node* old_node, Node* new_node) = 0;
+
+  /// Scenario ① — prefix extraction created `new_parent` directly above
+  /// `node`; keys previously reaching `node` may now branch at `new_parent`,
+  /// so the entry must be lifted to it.
+  virtual void OnPrefixSplit(int32_t slot, Node* node, Node* new_parent) = 0;
+
+  /// `node` was merged away on removal; `ancestor` still covers its range.
+  virtual void OnNodeRemoved(int32_t slot, Node* node, Node* ancestor) = 0;
+};
+
+/// Outcome of hint-based (fast pointer) operations.
+enum class HintOutcome {
+  kFound,     ///< lookup: key found in the hinted subtree
+  kNotFound,  ///< lookup: not in subtree (caller may fall back to root)
+  kInserted,  ///< insert: success
+  kExists,    ///< insert: key already present
+  kNeedRoot,  ///< hint unusable (obsolete / SMO required at hint) — retry from root
+};
+
+/// \brief Adaptive Radix Tree over fixed 8-byte keys with optimistic lock
+/// coupling, path compression, ordered scans, and the ART-OPT hooks ALT-index
+/// needs (`match_level`, fast-pointer callbacks, hint-based entry points).
+///
+/// Concurrency contract: every public operation may run concurrently from any
+/// number of threads. Callers MUST hold an alt::EpochGuard across each call
+/// (the tree retires replaced nodes through the global EpochManager).
+class ArtTree {
+ public:
+  ArtTree();
+  ~ArtTree();
+
+  ArtTree(const ArtTree&) = delete;
+  ArtTree& operator=(const ArtTree&) = delete;
+
+  /// Install the fast-pointer-buffer listener (nullptr to detach).
+  void SetListener(ArtStructureListener* listener) { listener_ = listener; }
+
+  /// \return true and set *out if `key` is present.
+  /// \param steps if non-null, accumulates the number of nodes visited
+  ///        (Fig. 10(a) "average lookup length").
+  bool Lookup(Key key, Value* out, int* steps = nullptr) const;
+
+  /// Lookup resuming at `hint` (depth = hint->match_level). The caller must
+  /// have validated that `key` shares the hint entry's prefix.
+  HintOutcome LookupFrom(Node* hint, Key key, Value* out, int* steps = nullptr) const;
+
+  /// Insert; \return false if the key already exists (value left unchanged).
+  bool Insert(Key key, Value value);
+
+  /// Insert resuming at `hint`. Returns kNeedRoot when the required structure
+  /// modification involves the hint node itself (its parent is unknown here).
+  HintOutcome InsertFrom(Node* hint, Key key, Value value);
+
+  /// Overwrite the value of an existing key. \return false if absent.
+  bool Update(Key key, Value value);
+
+  /// Remove `key`; \return true if it was present. Shrinks/merges nodes.
+  /// \param old_value if non-null, receives the removed value (needed by the
+  ///        ALT-index write-back scheme, Alg. 2).
+  bool Remove(Key key, Value* old_value = nullptr);
+
+  /// Collect up to `max_items` pairs with key >= lo in ascending order.
+  size_t Scan(Key lo, size_t max_items, std::vector<std::pair<Key, Value>>* out) const;
+
+  /// Collect all pairs with lo <= key <= hi in ascending order.
+  size_t RangeQuery(Key lo, Key hi, std::vector<std::pair<Key, Value>>* out) const;
+
+  /// Deepest node whose subtree contains the whole range [lo, hi].
+  /// Quiescent-only (used while building the fast pointer buffer).
+  /// \param depth_out set to the node's match_level.
+  Node* FindLcaNode(Key lo, Key hi, int* depth_out) const;
+
+  /// Structural statistics (quiescent-only traversal).
+  struct Stats {
+    size_t n4 = 0, n16 = 0, n48 = 0, n256 = 0;
+    size_t leaves = 0;
+    size_t bytes = 0;
+    size_t height = 0;
+  };
+  Stats CollectStats() const;
+
+  /// Total bytes of nodes + leaves (quiescent-only).
+  size_t MemoryUsage() const { return CollectStats().bytes; }
+
+  size_t Size() const { return size_.load(std::memory_order_relaxed); }
+  bool Empty() const { return Size() == 0; }
+
+  Node* root() const { return root_; }
+
+ private:
+  enum class OpResult { kDone, kRestart, kExists, kNotFound, kNeedRoot };
+
+  OpResult LookupImpl(Node* start, Key key, Value* out, int* steps) const;
+  OpResult InsertImpl(Node* start, Node* start_parent, uint8_t start_parent_byte,
+                      Key key, Value value);
+  OpResult RemoveImpl(Key key, Value* old_value);
+
+  bool ScanCollect(const Node* node, Key acc, Key lo, Key hi, size_t max_items,
+                   std::vector<std::pair<Key, Value>>* out, int* restarts) const;
+
+  Node* root_;  // fixed Node256, never replaced, never obsolete
+  ArtStructureListener* listener_ = nullptr;
+  std::atomic<size_t> size_{0};
+};
+
+}  // namespace art
+}  // namespace alt

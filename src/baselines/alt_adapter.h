@@ -1,0 +1,39 @@
+#pragma once
+
+#include <memory>
+
+#include "common/index_interface.h"
+#include "core/alt_index.h"
+
+namespace alt {
+
+/// ConcurrentIndex facade over AltIndex, for the shared bench/test harness.
+class AltIndexAdapter : public ConcurrentIndex {
+ public:
+  explicit AltIndexAdapter(AltOptions options = AltOptions{})
+      : index_(std::make_unique<AltIndex>(options)) {}
+
+  std::string Name() const override { return "ALT-index"; }
+
+  Status BulkLoad(const Key* keys, const Value* values, size_t n) override {
+    return index_->BulkLoad(keys, values, n);
+  }
+  bool Lookup(Key key, Value* out) override { return index_->Lookup(key, out); }
+  bool Insert(Key key, Value value) override { return index_->Insert(key, value); }
+  bool Update(Key key, Value value) override { return index_->Update(key, value); }
+  bool Remove(Key key) override { return index_->Remove(key); }
+  size_t Scan(Key start, size_t count,
+              std::vector<std::pair<Key, Value>>* out) override {
+    return index_->Scan(start, count, out);
+  }
+  size_t MemoryUsage() const override { return index_->MemoryUsage(); }
+  size_t Size() const override { return index_->Size(); }
+
+  AltIndex& index() { return *index_; }
+  const AltIndex& index() const { return *index_; }
+
+ private:
+  std::unique_ptr<AltIndex> index_;
+};
+
+}  // namespace alt

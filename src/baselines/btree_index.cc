@@ -1,0 +1,4 @@
+#include "baselines/btree_index.h"
+
+// Header-only implementation; this translation unit anchors the vtable.
+namespace alt {}

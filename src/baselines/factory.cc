@@ -1,0 +1,31 @@
+#include "baselines/factory.h"
+
+#include "baselines/alex_like.h"
+#include "baselines/alt_adapter.h"
+#include "baselines/art_index.h"
+#include "baselines/btree_index.h"
+#include "baselines/finedex_like.h"
+#include "baselines/lipp_like.h"
+#include "baselines/olc_btree.h"
+#include "baselines/xindex_like.h"
+
+namespace alt {
+
+std::unique_ptr<ConcurrentIndex> MakeIndex(const std::string& name,
+                                           const AltOptions& alt_options) {
+  if (name == "alt") return std::make_unique<AltIndexAdapter>(alt_options);
+  if (name == "alex") return std::make_unique<AlexLike>();
+  if (name == "lipp") return std::make_unique<LippLike>();
+  if (name == "xindex") return std::make_unique<XIndexLike>();
+  if (name == "finedex") return std::make_unique<FinedexLike>();
+  if (name == "art") return std::make_unique<ArtIndex>();
+  if (name == "btree-olc") return std::make_unique<OlcBTree>();
+  if (name == "btree") return std::make_unique<BTreeIndex>();
+  return nullptr;
+}
+
+std::vector<std::string> PaperIndexLineup() {
+  return {"alt", "alex", "lipp", "finedex", "xindex", "art"};
+}
+
+}  // namespace alt

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/index_interface.h"
+#include "core/alt_options.h"
+
+namespace alt {
+
+/// Create an index by name: "alt", "alex", "lipp", "xindex", "finedex",
+/// "art", "btree-olc", "btree" (the std::map oracle). Returns nullptr for
+/// unknown names.
+/// `alt_options` configures the ALT-index instance (others ignore it).
+std::unique_ptr<ConcurrentIndex> MakeIndex(const std::string& name,
+                                           const AltOptions& alt_options = {});
+
+/// The paper's Fig. 7/9 competitor lineup, in presentation order:
+/// alt, alex, lipp, finedex, xindex, art.
+std::vector<std::string> PaperIndexLineup();
+
+}  // namespace alt

@@ -1,0 +1,126 @@
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <mutex>
+#include <vector>
+
+#include "common/epoch.h"
+#include "common/key_codec.h"
+#include "common/spinlock.h"
+
+namespace alt {
+
+/// \brief Copy-on-write sorted directory of index leaves, shared by the
+/// baseline indexes (AlexLike data nodes, XIndexLike group leaves, ...).
+///
+/// Readers (under an EpochGuard) load the snapshot pointer and binary-search
+/// the first-key array; structural changes (leaf splits, merges) clone the
+/// snapshot under a lock and retire the old one. Point replacement of a leaf
+/// (same first key) is an in-place atomic store.
+///
+/// LeafT must be deletable via `delete`; retired leaves are reclaimed through
+/// the epoch manager.
+template <typename LeafT>
+class LeafDirectory {
+ public:
+  struct Snapshot {
+    explicit Snapshot(size_t n) : first_keys(n), leaves(n) {}
+    std::vector<Key> first_keys;
+    std::vector<std::atomic<LeafT*>> leaves;
+  };
+
+  LeafDirectory() = default;
+
+  ~LeafDirectory() {
+    Snapshot* s = snapshot_.load(std::memory_order_acquire);
+    if (s == nullptr) return;
+    for (auto& l : s->leaves) delete l.load(std::memory_order_relaxed);
+    delete s;
+  }
+
+  LeafDirectory(const LeafDirectory&) = delete;
+  LeafDirectory& operator=(const LeafDirectory&) = delete;
+
+  /// Install the initial (sorted-by-first-key) leaf list. Single-threaded.
+  void Build(const std::vector<std::pair<Key, LeafT*>>& leaves) {
+    auto* s = new Snapshot(leaves.size());
+    for (size_t i = 0; i < leaves.size(); ++i) {
+      s->first_keys[i] = leaves[i].first;
+      s->leaves[i].store(leaves[i].second, std::memory_order_relaxed);
+    }
+    snapshot_.store(s, std::memory_order_release);
+  }
+
+  const Snapshot* snapshot() const { return snapshot_.load(std::memory_order_acquire); }
+
+  static size_t Locate(const Snapshot& s, Key key) {
+    size_t lo = 0, hi = s.first_keys.size();
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (s.first_keys[mid] <= key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo == 0 ? 0 : lo - 1;
+  }
+
+  /// Split: replace `old_leaf` with `left` (same first key) and `right`
+  /// (strictly larger first key). Retires old_leaf + old snapshot.
+  /// \return false if old_leaf is no longer present (caller must retry).
+  bool ReplaceWithTwo(LeafT* old_leaf, Key left_first, LeafT* left, Key right_first,
+                      LeafT* right) {
+    std::lock_guard<SpinLock> lg(structure_lock_);
+    Snapshot* s = snapshot_.load(std::memory_order_acquire);
+    const size_t idx = Locate(*s, left_first);
+    if (s->leaves[idx].load(std::memory_order_acquire) != old_leaf) return false;
+    assert(s->first_keys[idx] == left_first);
+    const size_t n = s->first_keys.size();
+    auto* ns = new Snapshot(n + 1);
+    for (size_t i = 0; i <= idx; ++i) {
+      ns->first_keys[i] = s->first_keys[i];
+      ns->leaves[i].store(s->leaves[i].load(std::memory_order_acquire),
+                          std::memory_order_relaxed);
+    }
+    ns->leaves[idx].store(left, std::memory_order_relaxed);
+    ns->first_keys[idx + 1] = right_first;
+    ns->leaves[idx + 1].store(right, std::memory_order_relaxed);
+    for (size_t i = idx + 1; i < n; ++i) {
+      ns->first_keys[i + 1] = s->first_keys[i];
+      ns->leaves[i + 1].store(s->leaves[i].load(std::memory_order_acquire),
+                              std::memory_order_relaxed);
+    }
+    snapshot_.store(ns, std::memory_order_release);
+    Retire(old_leaf);
+    EpochManager::Global().Retire(s, [](void* p) { delete static_cast<Snapshot*>(p); });
+    return true;
+  }
+
+  /// In-place replacement preserving the first key (e.g. leaf compaction).
+  bool ReplaceOne(LeafT* old_leaf, Key first_key, LeafT* new_leaf) {
+    std::lock_guard<SpinLock> lg(structure_lock_);
+    Snapshot* s = snapshot_.load(std::memory_order_acquire);
+    const size_t idx = Locate(*s, first_key);
+    if (s->leaves[idx].load(std::memory_order_acquire) != old_leaf) return false;
+    s->leaves[idx].store(new_leaf, std::memory_order_release);
+    Retire(old_leaf);
+    return true;
+  }
+
+  size_t NumLeaves() const {
+    const Snapshot* s = snapshot();
+    return s == nullptr ? 0 : s->first_keys.size();
+  }
+
+ private:
+  static void Retire(LeafT* leaf) {
+    EpochManager::Global().Retire(leaf, [](void* p) { delete static_cast<LeafT*>(p); });
+  }
+
+  std::atomic<Snapshot*> snapshot_{nullptr};
+  SpinLock structure_lock_;
+};
+
+}  // namespace alt

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace alt {
+
+/// \brief Concurrent occupancy bitmap, one bit per GPL slot (§III-B: "we use a
+/// bitmap to reduce the unnecessary slot checks in the search procedure").
+///
+/// Bits are set/cleared with relaxed RMWs; the slot's version lock provides the
+/// ordering, the bitmap is only a fast filter and the authoritative occupancy
+/// lives in the slot state.
+class AtomicBitmap {
+ public:
+  AtomicBitmap() = default;
+  explicit AtomicBitmap(size_t bits) { Reset(bits); }
+
+  void Reset(size_t bits) {
+    bits_ = bits;
+    words_ = std::vector<std::atomic<uint64_t>>((bits + 63) / 64);
+    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+  }
+
+  void Set(size_t i) {
+    words_[i >> 6].fetch_or(uint64_t{1} << (i & 63), std::memory_order_relaxed);
+  }
+
+  void Clear(size_t i) {
+    words_[i >> 6].fetch_and(~(uint64_t{1} << (i & 63)), std::memory_order_relaxed);
+  }
+
+  bool Test(size_t i) const {
+    return (words_[i >> 6].load(std::memory_order_relaxed) >> (i & 63)) & 1u;
+  }
+
+  /// First set bit at or after `i`, or `size()` if none. Powers slot scans in
+  /// range queries without touching empty cache lines.
+  size_t NextSet(size_t i) const {
+    if (i >= bits_) return bits_;
+    size_t w = i >> 6;
+    uint64_t word = words_[w].load(std::memory_order_relaxed) & (~uint64_t{0} << (i & 63));
+    for (;;) {
+      if (word != 0) {
+        size_t pos = (w << 6) + static_cast<size_t>(__builtin_ctzll(word));
+        return pos < bits_ ? pos : bits_;
+      }
+      if (++w >= words_.size()) return bits_;
+      word = words_[w].load(std::memory_order_relaxed);
+    }
+  }
+
+  size_t size() const { return bits_; }
+
+  size_t CountSet() const {
+    size_t n = 0;
+    for (const auto& w : words_) n += __builtin_popcountll(w.load(std::memory_order_relaxed));
+    return n;
+  }
+
+ private:
+  size_t bits_ = 0;
+  std::vector<std::atomic<uint64_t>> words_;
+};
+
+}  // namespace alt

@@ -1,0 +1,193 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/spinlock.h"
+
+namespace alt {
+
+/// \brief Epoch-based memory reclamation shared by all concurrent structures.
+///
+/// Optimistic lock coupling (ART) and copy-on-write snapshots (model directory,
+/// retraining) replace nodes while lock-free readers may still dereference the
+/// old ones. Writers therefore *retire* replaced memory here instead of freeing
+/// it; it is reclaimed once every thread that could have observed it has left
+/// its read-side critical section.
+///
+/// Usage:
+///   { EpochGuard g;            // read-side critical section
+///     ... dereference shared nodes ... }
+///   EpochManager::Global().Retire(old_node, [](void* p){ delete Node::From(p); });
+///
+/// The design is the classic 3-epoch scheme: a guard pins the global epoch in a
+/// per-thread slot; retired items are stamped with the epoch at retirement and
+/// freed when the minimum pinned epoch has advanced past them.
+class EpochManager {
+ public:
+  static constexpr uint64_t kIdle = ~uint64_t{0};
+  static constexpr int kMaxThreads = 256;
+
+  using Deleter = void (*)(void*);
+
+  static EpochManager& Global() {
+    static EpochManager mgr;
+    return mgr;
+  }
+
+  /// Enter a read-side critical section (nestable). Prefer EpochGuard.
+  void Enter() {
+    ThreadState& ts = LocalState();
+    if (ts.nesting++ == 0) {
+      uint64_t e = global_epoch_.load(std::memory_order_acquire);
+      slots_[ts.slot].epoch.store(e, std::memory_order_release);
+      // A second load catches an advance that raced with our publication.
+      uint64_t e2 = global_epoch_.load(std::memory_order_acquire);
+      if (e2 != e) slots_[ts.slot].epoch.store(e2, std::memory_order_release);
+    }
+  }
+
+  void Exit() {
+    ThreadState& ts = LocalState();
+    if (--ts.nesting == 0) {
+      slots_[ts.slot].epoch.store(kIdle, std::memory_order_release);
+    }
+  }
+
+  /// Schedule `p` for deletion once all current readers are gone.
+  void Retire(void* p, Deleter del) {
+    ThreadState& ts = LocalState();
+    uint64_t e = global_epoch_.load(std::memory_order_acquire);
+    {
+      std::lock_guard<SpinLock> lg(ts.retired_lock);
+      ts.retired.push_back({p, del, e});
+    }
+    if (++ts.retire_count % kAdvanceInterval == 0) {
+      AdvanceAndCollect(ts);
+    }
+  }
+
+  /// Free everything retired so far. Only safe when no thread is inside a
+  /// read-side section (e.g. between benchmark phases, in destructors of the
+  /// last live index, or single-threaded tests).
+  void DrainAll() {
+    global_epoch_.fetch_add(1, std::memory_order_acq_rel);
+    std::lock_guard<std::mutex> lg(registry_mutex_);
+    for (ThreadState* ts : registry_) {
+      std::vector<Retired> items;
+      {
+        std::lock_guard<SpinLock> il(ts->retired_lock);
+        items.swap(ts->retired);
+      }
+      for (auto& r : items) r.del(r.p);
+    }
+  }
+
+  uint64_t GlobalEpoch() const { return global_epoch_.load(std::memory_order_acquire); }
+
+  /// Count of items awaiting reclamation (approximate; for tests/metrics).
+  size_t PendingCount() {
+    std::lock_guard<std::mutex> lg(registry_mutex_);
+    size_t n = 0;
+    for (ThreadState* ts : registry_) {
+      std::lock_guard<SpinLock> il(ts->retired_lock);
+      n += ts->retired.size();
+    }
+    return n;
+  }
+
+ private:
+  static constexpr int kAdvanceInterval = 64;
+
+  struct Retired {
+    void* p;
+    Deleter del;
+    uint64_t epoch;
+  };
+
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> epoch{kIdle};
+  };
+
+  struct ThreadState {
+    int slot = -1;
+    int nesting = 0;
+    uint64_t retire_count = 0;
+    SpinLock retired_lock;
+    std::vector<Retired> retired;
+  };
+
+  EpochManager() = default;
+
+  // The singleton destructs at process exit, after user threads joined: free
+  // everything still pending plus the per-thread registry records.
+  ~EpochManager() {
+    DrainAll();
+    std::lock_guard<std::mutex> lg(registry_mutex_);
+    for (ThreadState* ts : registry_) delete ts;
+    registry_.clear();
+  }
+
+  ThreadState& LocalState() {
+    thread_local ThreadState* ts = nullptr;
+    if (ts == nullptr) ts = RegisterThread();
+    return *ts;
+  }
+
+  ThreadState* RegisterThread() {
+    auto* ts = new ThreadState();
+    std::lock_guard<std::mutex> lg(registry_mutex_);
+    ts->slot = next_slot_++ % kMaxThreads;
+    registry_.push_back(ts);
+    return ts;
+  }
+
+  uint64_t MinPinnedEpoch() const {
+    uint64_t m = kIdle;
+    for (const Slot& s : slots_) {
+      uint64_t e = s.epoch.load(std::memory_order_acquire);
+      if (e < m) m = e;
+    }
+    return m;
+  }
+
+  void AdvanceAndCollect(ThreadState& ts) {
+    global_epoch_.fetch_add(1, std::memory_order_acq_rel);
+    uint64_t min_pinned = MinPinnedEpoch();
+    std::vector<Retired> free_now;
+    {
+      std::lock_guard<SpinLock> lg(ts.retired_lock);
+      auto& v = ts.retired;
+      size_t w = 0;
+      for (size_t i = 0; i < v.size(); ++i) {
+        // Safe once no reader can still be pinned at or before the retire epoch.
+        if (v[i].epoch < min_pinned) {
+          free_now.push_back(v[i]);
+        } else {
+          v[w++] = v[i];
+        }
+      }
+      v.resize(w);
+    }
+    for (auto& r : free_now) r.del(r.p);
+  }
+
+  std::atomic<uint64_t> global_epoch_{1};
+  Slot slots_[kMaxThreads];
+  std::mutex registry_mutex_;
+  std::vector<ThreadState*> registry_;
+  int next_slot_ = 0;
+};
+
+/// RAII read-side critical section.
+class EpochGuard {
+ public:
+  EpochGuard() { EpochManager::Global().Enter(); }
+  ~EpochGuard() { EpochManager::Global().Exit(); }
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+};
+
+}  // namespace alt

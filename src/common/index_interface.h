@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/key_codec.h"
+#include "common/status.h"
+
+namespace alt {
+
+/// \brief Uniform facade over every index in this repository (ALT-index, the
+/// four learned-index competitors, ART, B+-tree), used by the benchmark
+/// harness, workload runner and integration tests.
+///
+/// Contract: BulkLoad runs once, single-threaded, before any other call; all
+/// other operations are thread-safe and may run concurrently.
+class ConcurrentIndex {
+ public:
+  virtual ~ConcurrentIndex() = default;
+
+  /// Human-readable name used in benchmark table rows (e.g. "ALT-index").
+  virtual std::string Name() const = 0;
+
+  /// Build from sorted, duplicate-free data.
+  virtual Status BulkLoad(const Key* keys, const Value* values, size_t n) = 0;
+
+  /// \return true and set *out if `key` is present.
+  virtual bool Lookup(Key key, Value* out) = 0;
+
+  /// \return false if the key already exists (no change).
+  virtual bool Insert(Key key, Value value) = 0;
+
+  /// Overwrite an existing key; \return false if absent.
+  virtual bool Update(Key key, Value value) = 0;
+
+  /// \return true if the key was present.
+  virtual bool Remove(Key key) = 0;
+
+  /// Up to `count` pairs with key >= start, ascending. \return pairs written.
+  virtual size_t Scan(Key start, size_t count,
+                      std::vector<std::pair<Key, Value>>* out) = 0;
+
+  /// Approximate heap footprint in bytes (quiescent).
+  virtual size_t MemoryUsage() const = 0;
+
+  /// Approximate live key count.
+  virtual size_t Size() const = 0;
+};
+
+}  // namespace alt

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace alt {
+
+/// Fixed 8-byte unsigned integer key, the record type used throughout the paper
+/// ("200 million 8-byte records").
+using Key = uint64_t;
+/// 8-byte payload. The indexes store values inline next to keys.
+using Value = uint64_t;
+
+/// Number of key bytes; ART consumes one byte per level.
+inline constexpr int kKeyBytes = 8;
+
+/// \brief Extract byte `level` (0 = most significant) of the big-endian
+/// binary-comparable encoding of `key`.
+///
+/// Big-endian byte order makes lexicographic byte comparison agree with integer
+/// order, which ART relies on for ordered scans.
+inline uint8_t KeyByte(Key key, int level) {
+  return static_cast<uint8_t>(key >> (8 * (kKeyBytes - 1 - level)));
+}
+
+/// \brief Length (in bytes) of the common prefix of two keys in big-endian order.
+inline int CommonPrefixBytes(Key a, Key b) {
+  uint64_t diff = a ^ b;
+  if (diff == 0) return kKeyBytes;
+  return __builtin_clzll(diff) / 8;
+}
+
+/// \brief The first `bytes` big-endian bytes of `key`, remaining bytes zeroed.
+/// Used by the fast pointer buffer to validate that a key lies under a hinted
+/// ART subtree before using the hint.
+inline Key KeyPrefix(Key key, int bytes) {
+  if (bytes <= 0) return 0;
+  if (bytes >= kKeyBytes) return key;
+  return key & ~((uint64_t{1} << (8 * (kKeyBytes - bytes))) - 1);
+}
+
+}  // namespace alt

@@ -1,0 +1,60 @@
+#include "common/latency_recorder.h"
+
+#include <cmath>
+
+namespace alt {
+
+namespace {
+// 16 sub-buckets per power of two: bucket = 16*log2(ns) roughly.
+constexpr int kSubBucketBits = 4;
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() : buckets_(kBuckets, 0) {}
+
+int LatencyHistogram::BucketFor(uint64_t ns) {
+  if (ns < 16) return static_cast<int>(ns);
+  const int msb = 63 - __builtin_clzll(ns);
+  const int sub = static_cast<int>((ns >> (msb - kSubBucketBits)) & 0xF);
+  int b = ((msb - kSubBucketBits + 1) << kSubBucketBits) + sub;
+  return b < kBuckets ? b : kBuckets - 1;
+}
+
+uint64_t LatencyHistogram::BucketUpperNs(int b) {
+  if (b < 16) return static_cast<uint64_t>(b);
+  const int msb = (b >> kSubBucketBits) + kSubBucketBits - 1;
+  const uint64_t sub = static_cast<uint64_t>(b & 0xF);
+  return ((uint64_t{16} + sub + 1) << (msb - kSubBucketBits)) - 1;
+}
+
+void LatencyHistogram::Record(uint64_t ns) {
+  buckets_[static_cast<size_t>(BucketFor(ns))]++;
+  total_++;
+  sum_ns_ += ns;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  total_ += other.total_;
+  sum_ns_ += other.sum_ns_;
+}
+
+uint64_t LatencyHistogram::Percentile(double q) const {
+  if (total_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const uint64_t target = static_cast<uint64_t>(std::ceil(q * static_cast<double>(total_)));
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) return BucketUpperNs(i);
+  }
+  return BucketUpperNs(kBuckets - 1);
+}
+
+void LatencyHistogram::Reset() {
+  buckets_.assign(kBuckets, 0);
+  total_ = 0;
+  sum_ns_ = 0;
+}
+
+}  // namespace alt

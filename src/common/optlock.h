@@ -1,0 +1,63 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/spinlock.h"
+
+namespace alt {
+
+/// \brief Standalone optimistic version lock (the DaMoN'16 scheme used inside
+/// ART nodes), for baseline index nodes: bit 1 = locked, bit 0 = obsolete,
+/// bits 63..2 = version counter.
+class OptLock {
+ public:
+  static bool IsLocked(uint64_t v) { return (v & 2u) != 0; }
+  static bool IsObsolete(uint64_t v) { return (v & 1u) != 0; }
+
+  /// Spin past writers; sets *need_restart if the node is obsolete.
+  uint64_t ReadLockOrRestart(bool* need_restart) const {
+    uint64_t v = v_.load(std::memory_order_acquire);
+    while (IsLocked(v)) {
+      CpuRelax();
+      v = v_.load(std::memory_order_acquire);
+    }
+    if (IsObsolete(v)) *need_restart = true;
+    return v;
+  }
+
+  /// Seqlock validation: preceding data loads stay before the re-read.
+  void CheckOrRestart(uint64_t v, bool* need_restart) const {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (v_.load(std::memory_order_relaxed) != v) *need_restart = true;
+  }
+
+  void UpgradeToWriteLockOrRestart(uint64_t& v, bool* need_restart) {
+    if (!v_.compare_exchange_strong(v, v + 2, std::memory_order_acquire)) {
+      *need_restart = true;
+    } else {
+      v += 2;
+    }
+  }
+
+  /// Blocking write lock; \return false if the node became obsolete.
+  bool WriteLockOrFail() {
+    for (;;) {
+      uint64_t v = v_.load(std::memory_order_acquire);
+      if (IsObsolete(v)) return false;
+      if (!IsLocked(v) &&
+          v_.compare_exchange_weak(v, v + 2, std::memory_order_acquire)) {
+        return true;
+      }
+      CpuRelax();
+    }
+  }
+
+  void WriteUnlock() { v_.fetch_add(2, std::memory_order_release); }
+  void WriteUnlockObsolete() { v_.fetch_add(3, std::memory_order_release); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+}  // namespace alt

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+
+namespace alt {
+
+/// \brief SplitMix64: fast, high-quality 64-bit mixer. Used to seed Xoshiro and
+/// to scramble Zipfian ranks into uncorrelated key-space picks.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// \brief Stateless mix of a single 64-bit value (Stafford variant 13).
+inline uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// \brief xoshiro256** PRNG — fast enough for per-operation workload draws and
+/// statistically solid for dataset synthesis.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL);
+
+  /// Uniform 64-bit draw.
+  uint64_t Next();
+
+  /// Uniform draw in [0, bound) without modulo bias (Lemire reduction).
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Standard normal via Box-Muller (cached second value).
+  double NextGaussian();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace alt

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <atomic>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace alt {
+
+/// Pause the core briefly inside a spin loop (reduces bus traffic on x86).
+inline void CpuRelax() {
+#if defined(__x86_64__)
+  _mm_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// \brief Tiny test-and-test-and-set spin lock.
+///
+/// Used where the critical section is a handful of stores (fast pointer buffer
+/// entries, §III-E "we use spin locks in the fast pointer buffer").
+class SpinLock {
+ public:
+  void lock() {
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) CpuRelax();
+    }
+  }
+
+  bool try_lock() { return !flag_.exchange(true, std::memory_order_acquire); }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace alt

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace alt {
+
+/// \brief Lightweight result status for fallible operations.
+///
+/// Follows the Arrow/RocksDB idiom: cheap to construct for OK, carries a code
+/// and message otherwise. Index hot paths return bool; Status is used on
+/// configuration / bulk operations where diagnosing the failure matters.
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kOutOfRange,
+    kIOError,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) { return Status(Code::kNotFound, std::move(msg)); }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) { return Status(Code::kIOError, std::move(msg)); }
+  static Status Internal(std::string msg) { return Status(Code::kInternal, std::move(msg)); }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  static const char* CodeName(Code code) {
+    switch (code) {
+      case Code::kOk: return "OK";
+      case Code::kInvalidArgument: return "InvalidArgument";
+      case Code::kNotFound: return "NotFound";
+      case Code::kAlreadyExists: return "AlreadyExists";
+      case Code::kOutOfRange: return "OutOfRange";
+      case Code::kIOError: return "IOError";
+      case Code::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+  Code code_;
+  std::string message_;
+};
+
+}  // namespace alt

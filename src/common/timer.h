@@ -1,0 +1,27 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace alt {
+
+/// Monotonic nanosecond clock for benchmarking and latency sampling.
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+/// Simple scoped stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(NowNanos()) {}
+  uint64_t ElapsedNanos() const { return NowNanos() - start_; }
+  double ElapsedSeconds() const { return static_cast<double>(ElapsedNanos()) * 1e-9; }
+  void Restart() { start_ = NowNanos(); }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace alt

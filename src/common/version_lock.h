@@ -1,0 +1,76 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/spinlock.h"
+
+namespace alt {
+
+/// \brief Per-slot optimistic version lock, the §III-E scheme: even = stable,
+/// odd = a writer is mid-flight. Readers snapshot the version, copy the slot,
+/// and re-validate; writers CAS even -> odd, publish, then store even+2.
+///
+/// 32 bits keeps one lock per data slot affordable (the learned layer allocates
+/// one per gapped slot).
+class SlotVersion {
+ public:
+  /// Begin an optimistic read. Spins past in-flight writers.
+  /// \return the (even) version to pass to ReadValidate.
+  uint32_t ReadLock() const {
+    uint32_t v = version_.load(std::memory_order_acquire);
+    while (v & 1u) {
+      CpuRelax();
+      v = version_.load(std::memory_order_acquire);
+    }
+    return v;
+  }
+
+  /// \return true iff no writer intervened since ReadLock returned `v`.
+  bool ReadValidate(uint32_t v) const {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return version_.load(std::memory_order_acquire) == v;
+  }
+
+  /// Acquire exclusive write access (spins).
+  void WriteLock() {
+    for (;;) {
+      uint32_t v = version_.load(std::memory_order_relaxed);
+      if (!(v & 1u) &&
+          version_.compare_exchange_weak(v, v + 1, std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+        return;
+      }
+      CpuRelax();
+    }
+  }
+
+  /// Try to move even -> odd starting from the observed version `v`.
+  bool TryWriteLock(uint32_t& v) {
+    if (v & 1u) return false;
+    return version_.compare_exchange_strong(v, v + 1, std::memory_order_acquire,
+                                            std::memory_order_relaxed);
+  }
+
+  /// Release write access (version becomes even and strictly larger).
+  void WriteUnlock() { version_.fetch_add(1, std::memory_order_release); }
+
+  uint32_t RawVersion() const { return version_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<uint32_t> version_{0};
+};
+
+/// RAII write guard for SlotVersion.
+class SlotWriteGuard {
+ public:
+  explicit SlotWriteGuard(SlotVersion& v) : v_(v) { v_.WriteLock(); }
+  ~SlotWriteGuard() { v_.WriteUnlock(); }
+  SlotWriteGuard(const SlotWriteGuard&) = delete;
+  SlotWriteGuard& operator=(const SlotWriteGuard&) = delete;
+
+ private:
+  SlotVersion& v_;
+};
+
+}  // namespace alt

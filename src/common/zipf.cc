@@ -1,0 +1,47 @@
+#include "common/zipf.h"
+
+#include <cmath>
+
+namespace alt {
+
+double Zipf::Zeta(uint64_t n, double theta) {
+  // Exact sum for small n; Euler-Maclaurin style approximation above a cutoff
+  // keeps construction O(1M) even for billion-item spaces.
+  constexpr uint64_t kExactLimit = 1u << 20;
+  double sum = 0.0;
+  const uint64_t exact = n < kExactLimit ? n : kExactLimit;
+  for (uint64_t i = 1; i <= exact; ++i) sum += std::pow(1.0 / static_cast<double>(i), theta);
+  if (n > exact) {
+    // integral of x^-theta from exact to n
+    if (theta == 1.0) {
+      sum += std::log(static_cast<double>(n) / static_cast<double>(exact));
+    } else {
+      sum += (std::pow(static_cast<double>(n), 1.0 - theta) -
+              std::pow(static_cast<double>(exact), 1.0 - theta)) /
+             (1.0 - theta);
+    }
+  }
+  return sum;
+}
+
+Zipf::Zipf(uint64_t n, double theta, uint64_t seed)
+    : n_(n == 0 ? 1 : n), theta_(theta), rng_(seed ^ 0x5bd1e995u) {
+  zetan_ = Zeta(n_, theta_);
+  zeta2theta_ = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+uint64_t Zipf::Next() {
+  if (theta_ <= 1e-9) return rng_.NextBounded(n_);
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const uint64_t rank = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+}  // namespace alt

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace alt {
+
+/// \brief Zipfian rank generator following the YCSB formulation
+/// (Gray et al., "Quickly generating billion-record synthetic databases").
+///
+/// Draws ranks in [0, n) where rank r has probability proportional to
+/// 1 / (r+1)^theta. The paper's read workloads use theta = 0.99 (§IV-A2).
+/// ScrambledZipf additionally hashes the rank so that hot items are spread
+/// uniformly across the key space, which is the YCSB default and what learned
+/// index papers mean by "zipfian reads".
+class Zipf {
+ public:
+  /// \param n number of distinct items
+  /// \param theta skew in [0, ~1.3]; 0 is uniform-ish, 0.99 is YCSB default
+  Zipf(uint64_t n, double theta, uint64_t seed = 1);
+
+  /// Next rank in [0, n).
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+  Rng rng_;
+};
+
+/// \brief Zipfian ranks scrambled through a 64-bit mixer so the hot set is not
+/// clustered at the low end of the key array.
+class ScrambledZipf {
+ public:
+  ScrambledZipf(uint64_t n, double theta, uint64_t seed = 1) : zipf_(n, theta, seed) {}
+
+  uint64_t Next() {
+    // Offset before mixing: Mix64(0) == 0, which would pin the hottest rank
+    // to index 0 instead of scattering it.
+    return Mix64(zipf_.Next() + 0x9e3779b97f4a7c15ULL) % zipf_.n();
+  }
+
+ private:
+  Zipf zipf_;
+};
+
+}  // namespace alt

@@ -1,0 +1,218 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "art/art_tree.h"
+#include "common/key_codec.h"
+#include "common/status.h"
+#include "core/alt_options.h"
+#include "core/fast_pointer_buffer.h"
+#include "core/gpl_model.h"
+#include "core/model_directory.h"
+
+namespace alt {
+
+/// \brief ALT-index: the paper's hybrid learned index (learned GPL layer over
+/// an optimized ART), with fast pointer buffer and dynamic retraining.
+///
+/// ## Architecture (paper §III)
+///  - *Learned index layer*: a flattened array of GPL models (Alg. 1
+///    segmentation) behind one binary-searchable upper model. Every resident
+///    key sits at exactly its predicted slot — no secondary search ever runs
+///    in this layer.
+///  - *ART-OPT layer*: keys whose predicted slot was already taken (bulk-load
+///    conflicts and runtime insertion conflicts) live in an ART; the fast
+///    pointer buffer jumps secondary searches into the deepest covering
+///    subtree.
+///  - *Dynamic retraining* (§III-F): a crowded model expands into a temporal
+///    buffer with twice the slots; migration is amortized over subsequent
+///    inserts and finished with a sweep plus an ART write-back pass.
+///
+/// ## Concurrency (paper §III-E)
+/// Per-slot optimistic versions in the learned layer, spin locks per fast
+/// pointer entry, optimistic lock coupling in ART, epoch-based reclamation for
+/// replaced models/nodes. All public operations are thread-safe; Lookup /
+/// Insert / Update / Remove are linearizable per key. Scans are per-slot
+/// atomic snapshots (keys may be concurrently inserted/removed mid-scan).
+///
+/// Thread-safety exception: BulkLoad must complete before concurrent use, and
+/// CollectStats / MemoryUsage expect a quiescent index.
+class AltIndex {
+ public:
+  explicit AltIndex(AltOptions options = AltOptions{});
+  ~AltIndex();
+
+  AltIndex(const AltIndex&) = delete;
+  AltIndex& operator=(const AltIndex&) = delete;
+
+  /// Build the index from sorted, duplicate-free data. Must be called exactly
+  /// once, before any concurrent operation. O(n).
+  Status BulkLoad(const Key* keys, const Value* values, size_t n);
+  Status BulkLoad(const std::vector<std::pair<Key, Value>>& sorted_pairs);
+
+  /// \return true and set *out if present.
+  bool Lookup(Key key, Value* out) const;
+
+  /// Insert a new key. \return false (no change) if the key already exists.
+  bool Insert(Key key, Value value);
+
+  /// Overwrite an existing key's value. \return false if absent.
+  bool Update(Key key, Value value);
+
+  /// Insert or overwrite. \return true if the key was newly inserted.
+  bool Upsert(Key key, Value value);
+
+  /// Delete a key. \return true if it was present.
+  bool Remove(Key key);
+
+  /// Collect up to `count` pairs with key >= start, ascending (merged across
+  /// the learned layer and ART-OPT, paper §III-G "Range Query").
+  size_t Scan(Key start, size_t count, std::vector<std::pair<Key, Value>>* out) const;
+
+  /// All pairs with lo <= key <= hi, ascending.
+  size_t RangeQuery(Key lo, Key hi, std::vector<std::pair<Key, Value>>* out) const;
+
+  /// Approximate live key count (maintained with relaxed counters).
+  size_t Size() const { return size_.load(std::memory_order_relaxed); }
+
+  /// \brief Forward cursor over the merged key space (batched on top of
+  /// Scan). Not a stable snapshot: concurrent inserts/removes may or may not
+  /// appear, but keys arrive in strictly ascending order and each observed
+  /// (key, value) pair was live at some point during the iteration.
+  ///
+  ///   AltIndex::Iterator it(index);
+  ///   for (it.Seek(lo); it.Valid() && it.key() <= hi; it.Next()) { ... }
+  class Iterator {
+   public:
+    explicit Iterator(const AltIndex& index) : index_(&index) {}
+
+    /// Position at the first key >= `key`.
+    void Seek(Key key) {
+      exhausted_ = false;
+      Refill(key);
+    }
+
+    bool Valid() const { return pos_ < batch_.size(); }
+    Key key() const { return batch_[pos_].first; }
+    Value value() const { return batch_[pos_].second; }
+
+    void Next() {
+      if (++pos_ >= batch_.size() && !exhausted_) {
+        const Key last = batch_.empty() ? 0 : batch_.back().first;
+        if (last == ~Key{0}) {
+          exhausted_ = true;
+          batch_.clear();
+          pos_ = 0;
+          return;
+        }
+        Refill(last + 1);
+      }
+    }
+
+   private:
+    static constexpr size_t kBatch = 128;
+
+    void Refill(Key from) {
+      index_->Scan(from, kBatch, &batch_);
+      pos_ = 0;
+      if (batch_.size() < kBatch) exhausted_ = true;
+    }
+
+    const AltIndex* index_;
+    std::vector<std::pair<Key, Value>> batch_;
+    size_t pos_ = 0;
+    bool exhausted_ = true;
+  };
+
+  /// Structural / behavioural statistics. Quiescent-only.
+  struct Stats {
+    size_t num_models = 0;          ///< GPL models in the directory
+    size_t learned_layer_keys = 0;  ///< keys resident at predicted slots
+    size_t art_keys = 0;            ///< conflict keys in ART-OPT
+    size_t fast_pointers = 0;       ///< merged fast pointer entries
+    size_t fast_pointer_adds = 0;   ///< entries without the merge scheme
+    size_t retrain_started = 0;     ///< expansions triggered (§III-F)
+    size_t retrain_finished = 0;    ///< expansions completed & published
+    size_t memory_bytes = 0;        ///< models + directory + buffer + ART
+    double error_bound = 0;         ///< effective epsilon
+    uint64_t art_lookups = 0;       ///< secondary searches (if stats enabled)
+    uint64_t art_lookup_steps = 0;  ///< nodes visited by secondary searches
+    uint64_t art_root_fallbacks = 0;  ///< hinted searches that retried at root
+  };
+  Stats CollectStats() const;
+
+  size_t MemoryUsage() const;
+
+  const AltOptions& options() const { return options_; }
+  double effective_error_bound() const { return epsilon_; }
+
+  /// Internal structures, exposed read-only for tests and benches.
+  const art::ArtTree& art() const { return art_; }
+  const FastPointerBuffer& fast_pointer_buffer() const { return fp_buffer_; }
+  const ModelDirectory& directory() const { return directory_; }
+
+ private:
+  enum class Probe { kHit, kExistsSameKey, kEmpty, kGoArt, kGoArtTombstone, kMigrated };
+
+  /// Read `model`'s predicted slot for `key`. On kHit, *out is set. Returns
+  /// the observed slot + word so callers can re-validate after an ART miss.
+  Probe ProbeSlot(const GplModel* model, Key key, Value* out, const GplSlot** slot_out,
+                  uint32_t* word_out) const;
+
+  /// Secondary search in ART-OPT via the model's fast pointer (root fallback).
+  bool ArtLookup(const GplModel* model, Key key, Value* out) const;
+
+  /// Insert into ART-OPT via the model's fast pointer; updates conflict stats.
+  /// \return true if inserted, false if the key already existed.
+  bool ArtInsert(GplModel* model, Key key, Value value);
+
+  bool LookupInternal(Key key, Value* out) const;
+  bool InsertInternal(Key key, Value value);
+  bool RemoveInternal(Key key);
+  bool UpdateInternal(Key key, Value value);
+
+  /// Slow path: model under §III-F expansion. \return true if inserted,
+  /// false if the key exists; sets *retry when the caller must re-run.
+  bool InsertExpanding(GplModel* model, Expansion* exp, Key key, Value value,
+                       bool* retry);
+
+  /// Place (key, value) into the temporal buffer; conflicts go to ART.
+  /// Used for victim migration (never fails; victims are unique).
+  void MigrateInto(GplModel* new_model, Key key, Value value);
+
+  /// Insert a *new* key into the temporal buffer (dup checks against ART).
+  /// \return true if inserted, false if the key already exists; sets *retry
+  /// when the buffer was published and is itself migrating (stale caller).
+  bool InsertIntoNewModel(GplModel* old_model, Expansion* exp, Key key, Value value,
+                          bool* retry);
+
+  /// Post-ART-insert repair for routing races: if a concurrently appended
+  /// tail model now owns `key`'s range and would answer "absent" from an
+  /// EMPTY slot, write the key back from ART into that slot before the
+  /// insert returns.
+  void EnsureArtKeyVisible(Key key);
+
+  void MaybeTriggerExpansion(GplModel* model);
+  void MaybeFinishExpansion(GplModel* model, Expansion* exp);
+  void FinishExpansion(GplModel* model, Expansion* exp);
+  void AppendTailModelIfLast(const GplModel* published);
+
+  AltOptions options_;
+  double epsilon_ = 0;
+  ModelDirectory directory_;
+  art::ArtTree art_;
+  FastPointerBuffer fp_buffer_;
+
+  std::atomic<size_t> size_{0};
+  std::atomic<size_t> retrain_started_{0};
+  std::atomic<size_t> retrain_finished_{0};
+  mutable std::atomic<uint64_t> art_lookups_{0};
+  mutable std::atomic<uint64_t> art_lookup_steps_{0};
+  mutable std::atomic<uint64_t> art_root_fallbacks_{0};
+};
+
+}  // namespace alt

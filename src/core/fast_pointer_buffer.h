@@ -1,0 +1,98 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "art/art_tree.h"
+#include "common/key_codec.h"
+#include "common/spinlock.h"
+
+namespace alt {
+
+/// \brief The fast pointer buffer (§III-C): maps each GPL model to the deepest
+/// ART node covering the model's key range, so secondary searches for conflict
+/// data resume mid-tree instead of at the root.
+///
+/// Entries are deduplicated by target node (the merge scheme, §III-C2): each
+/// ART node's `fp_slot` header field names its (single) entry, making the
+/// structure-modification callbacks O(1). Writers take the per-entry spin lock
+/// (§III-E); readers are lock-free and conservative:
+///  - the entry's (depth, prefix) is only used to *validate* that a key lies
+///    under the target subtree; the traversal depth itself is re-read from the
+///    node's `match_level` under its OLC version, and
+///  - entry updates only ever *widen* coverage (replacement keeps it equal,
+///    prefix split / removal lift the entry toward the root), so a torn
+///    node/meta pair can cause at worst a futile subtree probe that falls back
+///    to a root traversal — never a wrong result.
+///
+/// Storage is chunked so entry addresses are stable while the buffer grows
+/// (tail models append entries at runtime).
+class FastPointerBuffer : public art::ArtStructureListener {
+ public:
+  struct Ref {
+    art::Node* node;
+    int depth;
+    Key prefix;
+  };
+
+  FastPointerBuffer();
+  ~FastPointerBuffer() override;
+
+  /// Register `node` (at `depth` = node->match_level, covering keys that share
+  /// `prefix`'s first `depth` bytes). Returns the entry index; if the node
+  /// already has an entry, returns that one (merge scheme). Thread-safe.
+  int32_t AddPointer(art::Node* node, int depth, Key prefix);
+
+  /// Current target of entry `slot` (lock-free read; see class comment).
+  Ref Get(int32_t slot) const;
+
+  /// \return true iff `key` shares the entry's validated prefix, i.e. the
+  /// hinted subtree is known to cover it.
+  static bool Covers(const Ref& ref, Key key) {
+    return KeyPrefix(key, ref.depth) == ref.prefix;
+  }
+
+  /// Number of (merged) entries.
+  size_t Size() const { return count_.load(std::memory_order_acquire); }
+
+  /// Number of AddPointer calls (what the buffer would hold without the merge
+  /// scheme) — the Fig. 10(b) ablation statistic.
+  size_t UnmergedCount() const { return add_calls_.load(std::memory_order_relaxed); }
+
+  size_t MemoryBytes() const;
+
+  // --- ArtStructureListener (called with the affected node's lock held) -----
+  void OnNodeReplaced(int32_t slot, art::Node* old_node, art::Node* new_node) override;
+  void OnPrefixSplit(int32_t slot, art::Node* node, art::Node* new_parent) override;
+  void OnNodeRemoved(int32_t slot, art::Node* node, art::Node* ancestor) override;
+
+ private:
+  static constexpr size_t kChunkBits = 12;  // 4096 entries per chunk
+  static constexpr size_t kChunkSize = size_t{1} << kChunkBits;
+  static constexpr size_t kMaxChunks = 1 << 14;
+
+  struct Entry {
+    std::atomic<art::Node*> node{nullptr};
+    /// prefix | depth: the prefix's low byte is always 0 (depth <= 7 for
+    /// inner nodes), so the depth occupies the low 8 bits.
+    std::atomic<uint64_t> meta{0};
+    SpinLock lock;
+  };
+
+  Entry& EntryAt(size_t i) const {
+    return chunks_[i >> kChunkBits][i & (kChunkSize - 1)];
+  }
+
+  static uint64_t PackMeta(Key prefix, int depth) {
+    return prefix | static_cast<uint64_t>(depth & 0xFF);
+  }
+
+  mutable std::unique_ptr<Entry[]> chunks_[kMaxChunks];
+  std::atomic<size_t> count_{0};
+  std::atomic<size_t> add_calls_{0};
+  SpinLock grow_lock_;
+};
+
+}  // namespace alt

@@ -1,0 +1,93 @@
+#include "core/gpl.h"
+
+#include <cmath>
+#include <limits>
+
+namespace alt {
+
+std::vector<Segment> GplSegment(const Key* keys, size_t n, double epsilon) {
+  std::vector<Segment> segments;
+  if (n == 0) return segments;
+
+  size_t seg_start = 0;
+  while (seg_start < n) {
+    const Key first = keys[seg_start];
+    double upper = -std::numeric_limits<double>::infinity();
+    double lower = std::numeric_limits<double>::infinity();
+    size_t cur = seg_start + 1;
+    // Alg. 1: extend while MAX(upper_error, lower_error) <= epsilon. With the
+    // midpoint model the two errors are equal: (upper-lower)/2 * dx.
+    while (cur < n) {
+      const double dx = static_cast<double>(keys[cur] - first);
+      const double new_slope = static_cast<double>(cur - seg_start) / dx;
+      double u = upper > new_slope ? upper : new_slope;
+      double l = lower < new_slope ? lower : new_slope;
+      if ((u - l) * dx > 2.0 * epsilon) break;  // pessimistic split
+      upper = u;
+      lower = l;
+      ++cur;
+    }
+    const size_t len = cur - seg_start;
+    double slope = 0.0;
+    if (len >= 2) slope = 0.5 * (upper + lower);
+    segments.push_back(Segment{seg_start, len, slope});
+    seg_start = cur;
+  }
+  return segments;
+}
+
+std::vector<Segment> ShrinkingConeSegment(const Key* keys, size_t n, double epsilon) {
+  std::vector<Segment> segments;
+  if (n == 0) return segments;
+
+  size_t seg_start = 0;
+  while (seg_start < n) {
+    const Key first = keys[seg_start];
+    double upper = std::numeric_limits<double>::infinity();
+    double lower = -std::numeric_limits<double>::infinity();
+    size_t cur = seg_start + 1;
+    while (cur < n) {
+      const double dx = static_cast<double>(keys[cur] - first);
+      const double dy = static_cast<double>(cur - seg_start);
+      const double s = dy / dx;
+      if (s > upper || s < lower) break;  // outside the cone
+      // Narrow the cone to lines passing within +-epsilon of this point.
+      const double hi = (dy + epsilon) / dx;
+      const double lo = (dy - epsilon) / dx;
+      if (hi < upper) upper = hi;
+      if (lo > lower) lower = lo;
+      ++cur;
+    }
+    const size_t len = cur - seg_start;
+    double slope = 0.0;
+    if (len >= 2) {
+      // Any slope inside the final cone works; take the midpoint (clamped to
+      // finite values for 2-point cones).
+      double u = upper, l = lower;
+      if (!std::isfinite(u)) u = l;
+      if (!std::isfinite(l)) l = u;
+      slope = 0.5 * (u + l);
+      if (!std::isfinite(slope)) {
+        slope = static_cast<double>(len - 1) /
+                static_cast<double>(keys[seg_start + len - 1] - first);
+      }
+    }
+    segments.push_back(Segment{seg_start, len, slope});
+    seg_start = cur;
+  }
+  return segments;
+}
+
+double MaxSegmentError(const Key* keys, const Segment& seg) {
+  const Key first = keys[seg.start];
+  double max_err = 0.0;
+  for (size_t i = 0; i < seg.length; ++i) {
+    const double predicted =
+        seg.slope * static_cast<double>(keys[seg.start + i] - first);
+    const double err = std::fabs(predicted - static_cast<double>(i));
+    if (err > max_err) max_err = err;
+  }
+  return max_err;
+}
+
+}  // namespace alt

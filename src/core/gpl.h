@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/key_codec.h"
+
+namespace alt {
+
+/// One linear segment produced by a segmentation pass over sorted keys.
+struct Segment {
+  size_t start;   ///< index of the first key of the segment
+  size_t length;  ///< number of keys
+  double slope;   ///< positions per key-unit, anchored at the first key
+};
+
+/// \brief Greedy Pessimistic Linear segmentation (paper Algorithm 1).
+///
+/// Scans the sorted keys once. Each segment's candidate line is anchored at
+/// its first key; `upper_slope` / `lower_slope` track the max/min slopes from
+/// the anchor to every accepted point. With the final model slope chosen as
+/// the midpoint, every accepted point's prediction error is bounded by
+/// (upper - lower)/2 * dx <= epsilon (the Fig. 4(c) parallelogram argument),
+/// so the split test is (upper - lower) * dx > 2 * epsilon.
+///
+/// O(n) time, O(1) state per segment.
+std::vector<Segment> GplSegment(const Key* keys, size_t n, double epsilon);
+
+/// \brief ShrinkingCone segmentation (FITing-tree, Galakatos et al. 2019),
+/// implemented for the algorithm-comparison benches (Fig. 4) and as the
+/// LPA-style splitter of the FINEdex baseline.
+///
+/// The cone's apex is the segment's first point; each accepted point (x, y)
+/// narrows the feasible slope interval to lines passing within +-epsilon of
+/// it. A point outside the cone starts a new segment.
+std::vector<Segment> ShrinkingConeSegment(const Key* keys, size_t n, double epsilon);
+
+/// Largest absolute prediction error of `seg` over its keys, using the
+/// anchored line `pos = slope * (key - keys[start])`. Test/validation helper.
+double MaxSegmentError(const Key* keys, const Segment& seg);
+
+}  // namespace alt

@@ -1,0 +1,54 @@
+#include "core/gpl_model.h"
+
+namespace alt {
+
+GplModel::GplModel(Key first_key, double slope, uint32_t num_slots, uint32_t build_size,
+                   Key coverage_end)
+    : first_key_(first_key),
+      slope_(slope),
+      num_slots_(num_slots == 0 ? 1 : num_slots),
+      build_size_(build_size),
+      coverage_end_(coverage_end),
+      slots_(new GplSlot[num_slots == 0 ? 1 : num_slots]) {}
+
+Expansion::~Expansion() {
+  if (!done.load(std::memory_order_acquire)) delete new_model;
+}
+
+GplModel::~GplModel() {
+  Expansion* e = expansion_.load(std::memory_order_acquire);
+  delete e;
+}
+
+uint32_t GplModel::CountOccupied() const {
+  uint32_t n = 0;
+  for (uint32_t i = 0; i < num_slots_; ++i) {
+    if (SlotWord::StateOf(slots_[i].word.Read()) == SlotState::kOccupied) ++n;
+  }
+  return n;
+}
+
+void GplModel::CollectRange(Key lo, Key hi, std::vector<std::pair<Key, Value>>* out,
+                            size_t limit) const {
+  size_t appended = 0;
+  // Placement is monotone in the key, so no key >= lo sits left of
+  // Predict(lo), and the first resident key beyond hi ends the walk.
+  for (uint32_t i = Predict(lo); i < num_slots_ && appended < limit; ++i) {
+    const GplSlot& s = slots_[i];
+    for (;;) {
+      const uint32_t w = s.word.Read();
+      if (SlotWord::StateOf(w) != SlotState::kOccupied) break;
+      const Key k = s.key.load(std::memory_order_relaxed);
+      const Value v = s.value.load(std::memory_order_relaxed);
+      if (!s.word.Validate(w)) continue;  // concurrent writer: re-read the slot
+      if (k > hi) return;
+      if (k >= lo) {
+        out->emplace_back(k, v);
+        ++appended;
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace alt

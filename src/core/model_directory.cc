@@ -1,0 +1,104 @@
+#include "core/model_directory.h"
+
+#include <cassert>
+#include <mutex>
+
+#include "common/epoch.h"
+
+namespace alt {
+
+ModelDirectory::~ModelDirectory() {
+  Snapshot* s = snapshot_.load(std::memory_order_acquire);
+  if (s == nullptr) return;
+  for (auto& m : s->models) {
+    GplModel* model = m.load(std::memory_order_relaxed);
+    delete model;
+  }
+  delete s;
+}
+
+void ModelDirectory::BuildRadix(Snapshot* s, int radix_bits) {
+  if (radix_bits <= 0) return;
+  s->radix_bits = radix_bits;
+  const size_t buckets = size_t{1} << radix_bits;
+  s->radix.assign(buckets + 1, 0);
+  // radix[r] = first index i with first_keys[i] >= (r << (64 - bits)); the
+  // Locate window for bucket r is [radix[r], radix[r+1]) in upper-bound terms.
+  size_t i = 0;
+  const size_t n = s->first_keys.size();
+  for (size_t r = 0; r <= buckets; ++r) {
+    const Key boundary =
+        r == buckets ? ~Key{0} : (static_cast<Key>(r) << (64 - radix_bits));
+    while (i < n && s->first_keys[i] < boundary) ++i;
+    s->radix[r] = static_cast<uint32_t>(i);
+  }
+  s->radix[buckets] = static_cast<uint32_t>(n);
+}
+
+void ModelDirectory::Build(std::vector<GplModel*> models, int radix_bits) {
+  radix_bits_ = radix_bits;
+  auto* s = new Snapshot(models.size());
+  for (size_t i = 0; i < models.size(); ++i) {
+    s->first_keys[i] = models[i]->first_key();
+    s->models[i].store(models[i], std::memory_order_relaxed);
+  }
+  BuildRadix(s, radix_bits_);
+  Snapshot* old = snapshot_.exchange(s, std::memory_order_acq_rel);
+  assert(old == nullptr && "Build must run once, before any operation");
+  (void)old;
+}
+
+bool ModelDirectory::PublishReplacement(GplModel* old_model, GplModel* new_model) {
+  std::lock_guard<SpinLock> lg(structure_lock_);
+  Snapshot* s = snapshot_.load(std::memory_order_acquire);
+  const size_t idx = Locate(*s, old_model->first_key());
+  if (s->models[idx].load(std::memory_order_acquire) != old_model) return false;
+  s->models[idx].store(new_model, std::memory_order_release);
+  EpochManager::Global().Retire(
+      old_model, [](void* p) { delete static_cast<GplModel*>(p); });
+  return true;
+}
+
+bool ModelDirectory::AppendTail(GplModel* model) {
+  std::lock_guard<SpinLock> lg(structure_lock_);
+  Snapshot* s = snapshot_.load(std::memory_order_acquire);
+  const size_t n = s->first_keys.size();
+  if (n > 0 && model->first_key() <= s->first_keys[n - 1]) {
+    // A concurrent append (another finishing expansion) already covers this
+    // range; the caller drops its tail.
+    return false;
+  }
+  auto* ns = new Snapshot(n + 1);
+  for (size_t i = 0; i < n; ++i) {
+    ns->first_keys[i] = s->first_keys[i];
+    ns->models[i].store(s->models[i].load(std::memory_order_acquire),
+                        std::memory_order_relaxed);
+  }
+  ns->first_keys[n] = model->first_key();
+  ns->models[n].store(model, std::memory_order_relaxed);
+  BuildRadix(ns, radix_bits_);
+  snapshot_.store(ns, std::memory_order_release);
+  RetireSnapshot(s);
+  return true;
+}
+
+void ModelDirectory::RetireSnapshot(Snapshot* s) {
+  EpochManager::Global().Retire(s, [](void* p) { delete static_cast<Snapshot*>(p); });
+}
+
+size_t ModelDirectory::MemoryBytes() const {
+  const Snapshot* s = snapshot_.load(std::memory_order_acquire);
+  if (s == nullptr) return 0;
+  size_t total = sizeof(Snapshot) +
+                 s->first_keys.size() * (sizeof(Key) + sizeof(std::atomic<GplModel*>)) +
+                 s->radix.size() * sizeof(uint32_t);
+  for (const auto& m : s->models) {
+    const GplModel* model = m.load(std::memory_order_acquire);
+    total += model->MemoryBytes();
+    const Expansion* e = model->expansion();
+    if (e != nullptr && e->new_model != nullptr) total += e->new_model->MemoryBytes();
+  }
+  return total;
+}
+
+}  // namespace alt

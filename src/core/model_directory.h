@@ -1,0 +1,104 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/key_codec.h"
+#include "common/spinlock.h"
+#include "core/gpl_model.h"
+
+namespace alt {
+
+/// \brief The flattened "upper model" (§III-B): an immutable sorted array of
+/// model first-keys published through an atomic snapshot pointer, plus the
+/// model pointers themselves.
+///
+/// Two kinds of structural change, both rare and serialized by a lock:
+///  - retraining replaces a model *in place* (first_key is preserved, so the
+///    sorted order is untouched): an atomic store into the snapshot's slot;
+///  - appending a tail model (out-of-range catcher, §III-F) copies the
+///    snapshot (copy-on-write) and swings the snapshot pointer.
+///
+/// Readers run under an EpochGuard; replaced models/snapshots are retired to
+/// the epoch manager.
+class ModelDirectory {
+ public:
+  struct Snapshot {
+    explicit Snapshot(size_t n) : first_keys(n), models(n) {}
+    std::vector<Key> first_keys;
+    std::vector<std::atomic<GplModel*>> models;
+    /// Optional radix acceleration (§III-B discusses binary search vs radix
+    /// table): radix[r] = index of the model owning the smallest key whose
+    /// top `radix_bits` equal r. Narrows the binary search window to the
+    /// bucket; empty when radix_bits == 0.
+    int radix_bits = 0;
+    std::vector<uint32_t> radix;
+  };
+
+  ModelDirectory() = default;
+  ~ModelDirectory();
+
+  ModelDirectory(const ModelDirectory&) = delete;
+  ModelDirectory& operator=(const ModelDirectory&) = delete;
+
+  /// Install the initial model list (bulk load, single-threaded). Takes
+  /// ownership. Models must be sorted by first_key.
+  /// \param radix_bits build a 2^radix_bits-entry prefix table accelerating
+  ///        Locate (0 = pure binary search, the paper's choice).
+  void Build(std::vector<GplModel*> models, int radix_bits = 0);
+
+  /// Current snapshot; caller must hold an EpochGuard.
+  const Snapshot* snapshot() const { return snapshot_.load(std::memory_order_acquire); }
+
+  /// Index of the model responsible for `key`: the last model whose first_key
+  /// <= key (clamped to 0 for under-range keys).
+  static size_t Locate(const Snapshot& s, Key key) {
+    // Branch-reduced binary search over the sorted first-key array, narrowed
+    // to the key's radix bucket when the table is present.
+    size_t lo = 0, hi = s.first_keys.size();
+    if (s.radix_bits > 0) {
+      const size_t r = static_cast<size_t>(key >> (64 - s.radix_bits));
+      lo = s.radix[r];
+      hi = s.radix[r + 1];
+    }
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (s.first_keys[mid] <= key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo == 0 ? 0 : lo - 1;
+  }
+
+  /// Retraining finished: swap `old_model` (at the slot owning `first_key`)
+  /// for `new_model`. Retires the old model via the epoch manager.
+  /// \return false if the slot no longer holds `old_model`.
+  bool PublishReplacement(GplModel* old_model, GplModel* new_model);
+
+  /// Append a model whose first_key is greater than every existing one.
+  /// \return false (and leave the directory untouched) if a concurrent append
+  /// already installed a model at or beyond this first key.
+  bool AppendTail(GplModel* model);
+
+  size_t NumModels() const {
+    const Snapshot* s = snapshot_.load(std::memory_order_acquire);
+    return s == nullptr ? 0 : s->first_keys.size();
+  }
+
+  /// Sum of model footprints (quiescent).
+  size_t MemoryBytes() const;
+
+ private:
+  static void RetireSnapshot(Snapshot* s);
+  static void BuildRadix(Snapshot* s, int radix_bits);
+  int radix_bits_ = 0;
+
+  std::atomic<Snapshot*> snapshot_{nullptr};
+  SpinLock structure_lock_;
+};
+
+}  // namespace alt

@@ -1,0 +1,172 @@
+#include "datasets/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace alt {
+
+Status ParseDataset(const std::string& name, Dataset* out) {
+  if (name == "libio") {
+    *out = Dataset::kLibio;
+  } else if (name == "osm") {
+    *out = Dataset::kOsm;
+  } else if (name == "fb") {
+    *out = Dataset::kFb;
+  } else if (name == "longlat") {
+    *out = Dataset::kLonglat;
+  } else if (name == "uniform") {
+    *out = Dataset::kUniform;
+  } else if (name == "lognormal") {
+    *out = Dataset::kLognormal;
+  } else if (name == "sequential") {
+    *out = Dataset::kSequential;
+  } else {
+    return Status::InvalidArgument("unknown dataset: " + name);
+  }
+  return Status::OK();
+}
+
+const char* DatasetName(Dataset d) {
+  switch (d) {
+    case Dataset::kLibio: return "libio";
+    case Dataset::kOsm: return "osm";
+    case Dataset::kFb: return "fb";
+    case Dataset::kLonglat: return "longlat";
+    case Dataset::kUniform: return "uniform";
+    case Dataset::kLognormal: return "lognormal";
+    case Dataset::kSequential: return "sequential";
+  }
+  return "?";
+}
+
+std::vector<Dataset> PaperDatasets() {
+  return {Dataset::kLibio, Dataset::kOsm, Dataset::kFb, Dataset::kLonglat};
+}
+
+namespace {
+
+void SortDedup(std::vector<Key>& keys) {
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+}
+
+// Refill after dedup until exactly n distinct keys, drawing from `gen`.
+template <typename Gen>
+std::vector<Key> FillDistinct(size_t n, Gen gen) {
+  std::vector<Key> keys;
+  keys.reserve(n + n / 8);
+  while (true) {
+    while (keys.size() < n + n / 16 + 16) keys.push_back(gen());
+    SortDedup(keys);
+    if (keys.size() >= n) {
+      keys.resize(n);
+      return keys;
+    }
+  }
+}
+
+// libraries.io repository IDs: a dense auto-increment sequence where spans of
+// IDs were deleted or skipped -> long near-linear runs with occasional jumps.
+std::vector<Key> GenLibio(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Key> keys;
+  keys.reserve(n);
+  Key cur = 1000000;
+  while (keys.size() < n) {
+    // Runs of consecutive IDs with small per-step jitter...
+    size_t run = 1000 + rng.NextBounded(20000);
+    if (run > n - keys.size()) run = n - keys.size();
+    for (size_t i = 0; i < run; ++i) {
+      cur += 1 + rng.NextBounded(3);  // mostly dense
+      keys.push_back(cur);
+    }
+    // ...separated by a bursty gap (deleted range).
+    cur += 1000 + rng.NextBounded(500000);
+  }
+  return keys;
+}
+
+// OpenStreetMap cell IDs sampled uniformly: uniform over a wide 64-bit range.
+std::vector<Key> GenOsm(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  return FillDistinct(n, [&] { return rng.Next() >> 1; });
+}
+
+// Facebook user IDs: allocated in generations with exponentially growing
+// magnitudes and lognormal spacing -> heavy-tailed gap distribution that is
+// hard to fit with few linear pieces.
+std::vector<Key> GenFb(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  return FillDistinct(n, [&] {
+    // Mixture over 8 "generations": base grows by ~16x per generation,
+    // offsets are lognormal within one.
+    const uint64_t gen = rng.NextBounded(8);
+    const double base = std::pow(2.0, 34.0 + 3.5 * static_cast<double>(gen));
+    const double x = std::exp(rng.NextGaussian() * 1.8 + 2.0);
+    const uint64_t k = static_cast<uint64_t>(base * (1.0 + x * 0.01));
+    return k;
+  });
+}
+
+// longitude|latitude product transform: cluster centers over the globe with
+// Gaussian spread, packed as (lon_scaled * 2^32 + lat_scaled) -> strongly
+// multimodal CDF, the hardest to fit.
+std::vector<Key> GenLonglat(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  constexpr int kClusters = 64;
+  double lon_c[kClusters], lat_c[kClusters];
+  for (int i = 0; i < kClusters; ++i) {
+    lon_c[i] = rng.NextDouble() * 360.0 - 180.0;
+    lat_c[i] = rng.NextDouble() * 180.0 - 90.0;
+  }
+  return FillDistinct(n, [&] {
+    const int c = static_cast<int>(rng.NextBounded(kClusters));
+    double lon = lon_c[c] + rng.NextGaussian() * 2.0;
+    double lat = lat_c[c] + rng.NextGaussian() * 2.0;
+    if (lon < -180) lon += 360;
+    if (lon > 180) lon -= 360;
+    if (lat < -90) lat = -90;
+    if (lat > 90) lat = 90;
+    const uint64_t lon_s = static_cast<uint64_t>((lon + 180.0) / 360.0 * 4294967295.0);
+    const uint64_t lat_s = static_cast<uint64_t>((lat + 90.0) / 180.0 * 4294967295.0);
+    return (lon_s << 32) | lat_s;
+  });
+}
+
+std::vector<Key> GenUniform(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  return FillDistinct(n, [&] { return rng.Next(); });
+}
+
+std::vector<Key> GenLognormal(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  return FillDistinct(n, [&] {
+    const double x = std::exp(rng.NextGaussian() * 2.0 + 10.0);
+    return static_cast<uint64_t>(x * 1e3);
+  });
+}
+
+std::vector<Key> GenSequential(size_t n, uint64_t) {
+  std::vector<Key> keys(n);
+  for (size_t i = 0; i < n; ++i) keys[i] = i + 1;
+  return keys;
+}
+
+}  // namespace
+
+std::vector<Key> GenerateKeys(Dataset dataset, size_t n, uint64_t seed) {
+  switch (dataset) {
+    case Dataset::kLibio: return GenLibio(n, seed);
+    case Dataset::kOsm: return GenOsm(n, seed);
+    case Dataset::kFb: return GenFb(n, seed);
+    case Dataset::kLonglat: return GenLonglat(n, seed);
+    case Dataset::kUniform: return GenUniform(n, seed);
+    case Dataset::kLognormal: return GenLognormal(n, seed);
+    case Dataset::kSequential: return GenSequential(n, seed);
+  }
+  return {};
+}
+
+}  // namespace alt

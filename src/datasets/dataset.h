@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/key_codec.h"
+#include "common/status.h"
+
+namespace alt {
+
+/// The four evaluation datasets of the paper (§IV-A1) plus generic synthetic
+/// distributions. The real SOSD binaries are not shipped here; DistFb..
+/// DistLonglat are distribution-matched synthetic stand-ins that preserve the
+/// CDF-fit-difficulty ordering libio < osm < fb < longlat (DESIGN.md §5).
+enum class Dataset {
+  kLibio,       ///< near-dense auto-increment IDs with bursty gaps (easiest CDF)
+  kOsm,         ///< uniform samples over the 64-bit cell-ID space (moderate)
+  kFb,          ///< lognormal-spaced user IDs with heavy-tail gaps (hard)
+  kLonglat,     ///< multimodal product transform of lat/long pairs (hardest)
+  kUniform,     ///< uniform random keys
+  kLognormal,   ///< lognormal-spaced keys
+  kSequential,  ///< 1..n (degenerate: one GPL model)
+};
+
+/// Parse "libio" / "osm" / "fb" / "longlat" / "uniform" / "lognormal" /
+/// "sequential".
+Status ParseDataset(const std::string& name, Dataset* out);
+
+const char* DatasetName(Dataset d);
+
+/// All dataset enum values that mirror paper figures (the first four).
+std::vector<Dataset> PaperDatasets();
+
+/// \brief Generate `n` distinct sorted keys following `dataset`'s
+/// distribution. Deterministic for a given (dataset, n, seed).
+std::vector<Key> GenerateKeys(Dataset dataset, size_t n, uint64_t seed = 42);
+
+/// Value for a key in tests/benches: a cheap deterministic function of the
+/// key so correctness checks need no side table.
+inline Value ValueFor(Key k) { return k * 0x9e3779b97f4a7c15ULL + 1; }
+
+}  // namespace alt

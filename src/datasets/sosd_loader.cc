@@ -1,0 +1,38 @@
+#include "datasets/sosd_loader.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+
+namespace alt {
+
+Status LoadSosdFile(const std::string& path, size_t limit, std::vector<Key>* out) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  uint64_t count = 0;
+  if (std::fread(&count, sizeof(count), 1, f) != 1) {
+    std::fclose(f);
+    return Status::IOError("truncated SOSD header in " + path);
+  }
+  if (limit != 0 && count > limit) count = limit;
+  out->resize(count);
+  const size_t got = std::fread(out->data(), sizeof(Key), count, f);
+  std::fclose(f);
+  if (got != count) return Status::IOError("truncated SOSD body in " + path);
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+  return Status::OK();
+}
+
+Status WriteSosdFile(const std::string& path, const std::vector<Key>& keys) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + path + " for writing");
+  const uint64_t count = keys.size();
+  bool ok = std::fwrite(&count, sizeof(count), 1, f) == 1;
+  ok = ok && std::fwrite(keys.data(), sizeof(Key), keys.size(), f) == keys.size();
+  std::fclose(f);
+  if (!ok) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace alt

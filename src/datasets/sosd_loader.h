@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/key_codec.h"
+#include "common/status.h"
+
+namespace alt {
+
+/// \brief Loader for SOSD-format binary key files (Kipf et al., the benchmark
+/// the paper draws `fb`/`osm` from): a little-endian uint64 element count
+/// followed by that many little-endian uint64 keys.
+///
+/// Use this to run the benches against the real datasets when available:
+///   bench_fig7_workloads --dataset-file /path/to/osm_cellids_200M_uint64
+///
+/// \param limit read at most this many keys (0 = all).
+/// Keys are sorted and deduplicated after loading (the paper excludes
+/// duplicate-containing datasets).
+Status LoadSosdFile(const std::string& path, size_t limit, std::vector<Key>* out);
+
+/// Write keys in SOSD format (test fixture / dataset export helper).
+Status WriteSosdFile(const std::string& path, const std::vector<Key>& keys);
+
+}  // namespace alt

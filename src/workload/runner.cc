@@ -1,0 +1,105 @@
+#include "workload/runner.h"
+
+#include <atomic>
+#include <thread>
+
+#include "common/latency_recorder.h"
+#include "common/spinlock.h"
+#include "common/timer.h"
+#include "datasets/dataset.h"
+
+namespace alt {
+
+RunResult RunWorkload(ConcurrentIndex* index,
+                      const std::vector<std::vector<Op>>& streams,
+                      size_t scan_length) {
+  const int num_threads = static_cast<int>(streams.size());
+  std::vector<LatencyHistogram> hists(static_cast<size_t>(num_threads));
+  std::vector<uint64_t> fails(static_cast<size_t>(num_threads), 0);
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+
+  auto worker = [&](int tid) {
+    const auto& stream = streams[static_cast<size_t>(tid)];
+    LatencyHistogram& hist = hists[static_cast<size_t>(tid)];
+    uint64_t failed = 0;
+    std::vector<std::pair<Key, Value>> scan_buf;
+    ready.fetch_add(1, std::memory_order_acq_rel);
+    while (!go.load(std::memory_order_acquire)) CpuRelax();
+    uint32_t tick = 0;
+    for (const Op& op : stream) {
+      const bool sample = (tick++ & 15u) == 0;
+      const uint64_t t0 = sample ? NowNanos() : 0;
+      bool ok = true;
+      switch (op.type) {
+        case OpType::kRead: {
+          Value v;
+          ok = index->Lookup(op.key, &v);
+          break;
+        }
+        case OpType::kInsert:
+          ok = index->Insert(op.key, ValueFor(op.key));
+          break;
+        case OpType::kScan:
+          ok = index->Scan(op.key, scan_length, &scan_buf) > 0;
+          break;
+        case OpType::kUpdate:
+          ok = index->Update(op.key, ValueFor(op.key) ^ 0x5a5a);
+          break;
+        case OpType::kRemove:
+          ok = index->Remove(op.key);
+          break;
+      }
+      if (!ok) ++failed;
+      if (sample) hist.Record(NowNanos() - t0);
+    }
+    fails[static_cast<size_t>(tid)] = failed;
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
+  while (ready.load(std::memory_order_acquire) < num_threads) CpuRelax();
+  const Stopwatch clock;
+  go.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+  const double seconds = clock.ElapsedSeconds();
+
+  RunResult r;
+  LatencyHistogram merged;
+  for (int t = 0; t < num_threads; ++t) {
+    merged.Merge(hists[static_cast<size_t>(t)]);
+    r.total_ops += streams[static_cast<size_t>(t)].size();
+    r.failed_ops += fails[static_cast<size_t>(t)];
+  }
+  r.seconds = seconds;
+  r.throughput_mops = seconds > 0
+                          ? static_cast<double>(r.total_ops) / seconds / 1e6
+                          : 0;
+  r.p50_ns = merged.Percentile(0.50);
+  r.p99_ns = merged.Percentile(0.99);
+  r.p999_ns = merged.Percentile(0.999);
+  r.mean_ns = merged.MeanNs();
+  return r;
+}
+
+BenchSetup SplitDataset(const std::vector<Key>& keys, double bulk_fraction) {
+  BenchSetup setup;
+  if (bulk_fraction < 0.01) bulk_fraction = 0.01;
+  if (bulk_fraction > 1.0) bulk_fraction = 1.0;
+  // Interleave: of every `period` keys, the first `bulk_per` go to the bulk
+  // set, the rest to the pool, so both follow the dataset's distribution.
+  const int period = 10;
+  const int bulk_per = static_cast<int>(bulk_fraction * period + 0.5);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (static_cast<int>(i % period) < bulk_per) {
+      setup.loaded.push_back(keys[i]);
+    } else {
+      setup.pool.push_back(keys[i]);
+    }
+  }
+  if (setup.loaded.empty()) setup.loaded.push_back(keys.front());
+  return setup;
+}
+
+}  // namespace alt

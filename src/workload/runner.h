@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/index_interface.h"
+#include "workload/workload.h"
+
+namespace alt {
+
+/// Aggregated result of one timed run.
+struct RunResult {
+  double throughput_mops = 0;  ///< million operations per second
+  double seconds = 0;
+  uint64_t total_ops = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p99_ns = 0;
+  uint64_t p999_ns = 0;  ///< the paper's P99.9 tail metric
+  double mean_ns = 0;
+  uint64_t failed_ops = 0;  ///< reads that missed / duplicate inserts
+};
+
+/// \brief Execute pre-generated per-thread op streams against `index` with
+/// one thread per stream and return throughput + tail latency (sampled 1/16).
+///
+/// Threads start together behind a barrier; the wall clock covers the slowest
+/// thread, matching how the paper reports Mops/s for T threads.
+RunResult RunWorkload(ConcurrentIndex* index,
+                      const std::vector<std::vector<Op>>& streams,
+                      size_t scan_length = 100);
+
+/// Convenience: bulk-load `index` with the first `bulk_fraction` of keys
+/// (values = ValueFor(key)), generate streams over the rest, run, return.
+struct BenchSetup {
+  std::vector<Key> loaded;
+  std::vector<Key> pool;
+};
+
+/// Split sorted dataset keys into bulk-load set (every key whose rank is
+/// below bulk_fraction when interleaved) and insert pool. Interleaving (odd /
+/// even ranks) keeps both sets distribution-representative, mirroring how
+/// learned-index evaluations sample insert keys.
+BenchSetup SplitDataset(const std::vector<Key>& keys, double bulk_fraction);
+
+}  // namespace alt

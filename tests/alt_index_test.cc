@@ -1,0 +1,495 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/epoch.h"
+#include "common/random.h"
+#include "core/alt_index.h"
+#include "datasets/dataset.h"
+
+namespace alt {
+namespace {
+
+std::vector<std::pair<Key, Value>> MakePairs(const std::vector<Key>& keys) {
+  std::vector<std::pair<Key, Value>> pairs;
+  pairs.reserve(keys.size());
+  for (Key k : keys) pairs.emplace_back(k, ValueFor(k));
+  return pairs;
+}
+
+class AltIndexTest : public ::testing::Test {
+ protected:
+  void TearDown() override { EpochManager::Global().DrainAll(); }
+};
+
+// ---------------------------------------------------------------------------
+// Bulk load
+// ---------------------------------------------------------------------------
+
+TEST_F(AltIndexTest, BulkLoadRejectsUnsorted) {
+  AltIndex index;
+  const Key keys[] = {5, 3, 9};
+  const Value vals[] = {1, 2, 3};
+  EXPECT_EQ(index.BulkLoad(keys, vals, 3).code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(AltIndexTest, BulkLoadRejectsDuplicates) {
+  AltIndex index;
+  const Key keys[] = {3, 3, 9};
+  const Value vals[] = {1, 2, 3};
+  EXPECT_EQ(index.BulkLoad(keys, vals, 3).code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(AltIndexTest, BulkLoadRejectsEmpty) {
+  AltIndex index;
+  EXPECT_FALSE(index.BulkLoad(nullptr, nullptr, 0).ok());
+}
+
+TEST_F(AltIndexTest, BulkLoadRunsOnce) {
+  AltIndex index;
+  const Key keys[] = {1, 2, 3};
+  const Value vals[] = {1, 2, 3};
+  ASSERT_TRUE(index.BulkLoad(keys, vals, 3).ok());
+  EXPECT_FALSE(index.BulkLoad(keys, vals, 3).ok());
+}
+
+TEST_F(AltIndexTest, BulkLoadThenLookupEveryKey) {
+  AltIndex index;
+  auto pairs = MakePairs(GenerateKeys(Dataset::kOsm, 100000, 17));
+  ASSERT_TRUE(index.BulkLoad(pairs).ok());
+  EXPECT_EQ(index.Size(), pairs.size());
+  for (const auto& [k, v] : pairs) {
+    Value got;
+    ASSERT_TRUE(index.Lookup(k, &got));
+    EXPECT_EQ(got, v);
+  }
+}
+
+TEST_F(AltIndexTest, SuggestedErrorBoundApplied) {
+  AltIndex index;
+  auto pairs = MakePairs(GenerateKeys(Dataset::kUniform, 50000, 1));
+  ASSERT_TRUE(index.BulkLoad(pairs).ok());
+  EXPECT_DOUBLE_EQ(index.effective_error_bound(),
+                   AltOptions::SuggestErrorBound(50000));
+}
+
+TEST_F(AltIndexTest, ExplicitErrorBoundRespected) {
+  AltOptions opts;
+  opts.error_bound = 128;
+  AltIndex index(opts);
+  auto pairs = MakePairs(GenerateKeys(Dataset::kUniform, 10000, 1));
+  ASSERT_TRUE(index.BulkLoad(pairs).ok());
+  EXPECT_DOUBLE_EQ(index.effective_error_bound(), 128.0);
+}
+
+// Zero-error invariant: every bulk-loaded key is either at exactly its
+// predicted slot or in ART — learned-layer keys need no secondary search.
+TEST_F(AltIndexTest, LayerSplitAccountsForAllKeys) {
+  AltIndex index;
+  auto pairs = MakePairs(GenerateKeys(Dataset::kLonglat, 80000, 29));
+  ASSERT_TRUE(index.BulkLoad(pairs).ok());
+  const auto st = index.CollectStats();
+  EXPECT_EQ(st.learned_layer_keys + st.art_keys, pairs.size());
+  EXPECT_GT(st.learned_layer_keys, pairs.size() / 2)
+      << "most keys should be absorbed by the learned layer (Fig. 10(c))";
+}
+
+// ---------------------------------------------------------------------------
+// Point operations
+// ---------------------------------------------------------------------------
+
+TEST_F(AltIndexTest, LookupMissesAbsentKeys) {
+  AltIndex index;
+  auto keys = GenerateKeys(Dataset::kFb, 50000, 7);
+  auto pairs = MakePairs(keys);
+  // Load only even positions; odd ones must miss.
+  std::vector<std::pair<Key, Value>> loaded;
+  for (size_t i = 0; i < pairs.size(); i += 2) loaded.push_back(pairs[i]);
+  ASSERT_TRUE(index.BulkLoad(loaded).ok());
+  for (size_t i = 1; i < pairs.size(); i += 2) {
+    Value v;
+    EXPECT_FALSE(index.Lookup(pairs[i].first, &v)) << i;
+  }
+}
+
+TEST_F(AltIndexTest, InsertNewKeysThenLookup) {
+  AltIndex index;
+  auto keys = GenerateKeys(Dataset::kLibio, 60000, 7);
+  std::vector<std::pair<Key, Value>> loaded, extra;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    (i % 2 ? extra : loaded).emplace_back(keys[i], ValueFor(keys[i]));
+  }
+  ASSERT_TRUE(index.BulkLoad(loaded).ok());
+  for (const auto& [k, v] : extra) EXPECT_TRUE(index.Insert(k, v));
+  EXPECT_EQ(index.Size(), keys.size());
+  for (const auto& [k, v] : extra) {
+    Value got;
+    ASSERT_TRUE(index.Lookup(k, &got));
+    EXPECT_EQ(got, v);
+  }
+}
+
+TEST_F(AltIndexTest, DuplicateInsertRejectedEverywhere) {
+  AltIndex index;
+  auto pairs = MakePairs(GenerateKeys(Dataset::kOsm, 20000, 7));
+  ASSERT_TRUE(index.BulkLoad(pairs).ok());
+  // Both learned-layer residents and ART residents must reject duplicates.
+  for (size_t i = 0; i < pairs.size(); i += 17) {
+    EXPECT_FALSE(index.Insert(pairs[i].first, 0)) << i;
+  }
+  EXPECT_EQ(index.Size(), pairs.size());
+}
+
+TEST_F(AltIndexTest, UpdateChangesValueInBothLayers) {
+  AltIndex index;
+  auto pairs = MakePairs(GenerateKeys(Dataset::kFb, 30000, 7));
+  ASSERT_TRUE(index.BulkLoad(pairs).ok());
+  for (size_t i = 0; i < pairs.size(); i += 7) {
+    EXPECT_TRUE(index.Update(pairs[i].first, 777));
+  }
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    Value v;
+    ASSERT_TRUE(index.Lookup(pairs[i].first, &v));
+    EXPECT_EQ(v, i % 7 == 0 ? 777 : pairs[i].second);
+  }
+  EXPECT_FALSE(index.Update(pairs.back().first + 12345, 1));
+}
+
+TEST_F(AltIndexTest, UpsertInsertsThenOverwrites) {
+  AltIndex index;
+  auto pairs = MakePairs(GenerateKeys(Dataset::kUniform, 10000, 3));
+  ASSERT_TRUE(index.BulkLoad(pairs).ok());
+  const Key fresh = pairs.back().first + 999;
+  EXPECT_TRUE(index.Upsert(fresh, 1));
+  EXPECT_FALSE(index.Upsert(fresh, 2));
+  Value v;
+  ASSERT_TRUE(index.Lookup(fresh, &v));
+  EXPECT_EQ(v, 2u);
+  EXPECT_FALSE(index.Upsert(pairs[0].first, 42));
+  ASSERT_TRUE(index.Lookup(pairs[0].first, &v));
+  EXPECT_EQ(v, 42u);
+}
+
+TEST_F(AltIndexTest, RemoveFromLearnedLayerLeavesTombstone) {
+  AltIndex index;
+  auto pairs = MakePairs(GenerateKeys(Dataset::kLibio, 30000, 7));
+  ASSERT_TRUE(index.BulkLoad(pairs).ok());
+  for (size_t i = 0; i < pairs.size(); i += 3) {
+    EXPECT_TRUE(index.Remove(pairs[i].first));
+  }
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    Value v;
+    EXPECT_EQ(index.Lookup(pairs[i].first, &v), i % 3 != 0) << i;
+  }
+  EXPECT_FALSE(index.Remove(pairs[0].first)) << "double remove";
+  EXPECT_EQ(index.Size(), pairs.size() - (pairs.size() + 2) / 3);
+}
+
+TEST_F(AltIndexTest, ReinsertAfterRemove) {
+  AltIndex index;
+  auto pairs = MakePairs(GenerateKeys(Dataset::kOsm, 20000, 7));
+  ASSERT_TRUE(index.BulkLoad(pairs).ok());
+  for (size_t i = 0; i < pairs.size(); i += 5) {
+    ASSERT_TRUE(index.Remove(pairs[i].first));
+    EXPECT_TRUE(index.Insert(pairs[i].first, 1234));
+    Value v;
+    ASSERT_TRUE(index.Lookup(pairs[i].first, &v));
+    EXPECT_EQ(v, 1234u);
+  }
+  EXPECT_EQ(index.Size(), pairs.size());
+}
+
+// The write-back scheme (Alg. 2): removing a learned-layer key whose slot
+// shadows ART conflicts, then looking those conflicts up, migrates them back
+// into the slot and out of ART.
+TEST_F(AltIndexTest, WriteBackReclaimsTombstones) {
+  AltIndex index;
+  auto pairs = MakePairs(GenerateKeys(Dataset::kLonglat, 50000, 13));
+  ASSERT_TRUE(index.BulkLoad(pairs).ok());
+  const auto before = index.CollectStats();
+  ASSERT_GT(before.art_keys, 0u);
+  // Remove every learned-layer resident, then look up every key twice: the
+  // first pass write-backs eligible ART keys, the second verifies.
+  for (size_t round = 0; round < 2; ++round) {
+    for (const auto& [k, v] : pairs) {
+      Value got;
+      index.Lookup(k, &got);
+    }
+  }
+  // Delete half the keys and re-look-up the rest.
+  for (size_t i = 0; i < pairs.size(); i += 2) index.Remove(pairs[i].first);
+  for (size_t i = 1; i < pairs.size(); i += 2) {
+    Value got;
+    ASSERT_TRUE(index.Lookup(pairs[i].first, &got)) << i;
+    EXPECT_EQ(got, pairs[i].second);
+  }
+  const auto after = index.CollectStats();
+  EXPECT_LT(after.art_keys, before.art_keys)
+      << "write-back should drain some conflicts out of ART";
+}
+
+// ---------------------------------------------------------------------------
+// Scans
+// ---------------------------------------------------------------------------
+
+TEST_F(AltIndexTest, ScanMatchesSortedOracle) {
+  AltIndex index;
+  auto keys = GenerateKeys(Dataset::kFb, 40000, 23);
+  auto pairs = MakePairs(keys);
+  ASSERT_TRUE(index.BulkLoad(pairs).ok());
+  std::vector<std::pair<Key, Value>> out;
+  Rng rng(5);
+  for (int t = 0; t < 100; ++t) {
+    const size_t start = rng.NextBounded(keys.size() - 200);
+    const size_t n = 1 + rng.NextBounded(150);
+    ASSERT_EQ(index.Scan(keys[start], n, &out), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i].first, keys[start + i]);
+      EXPECT_EQ(out[i].second, ValueFor(keys[start + i]));
+    }
+  }
+}
+
+TEST_F(AltIndexTest, ScanFromBetweenKeys) {
+  AltIndex index;
+  std::vector<std::pair<Key, Value>> pairs;
+  for (Key k = 0; k < 1000; ++k) pairs.emplace_back(k * 10 + 5, k);
+  ASSERT_TRUE(index.BulkLoad(pairs).ok());
+  std::vector<std::pair<Key, Value>> out;
+  ASSERT_EQ(index.Scan(52, 3, &out), 3u);  // between 45 and 55
+  EXPECT_EQ(out[0].first, 55u);
+  EXPECT_EQ(out[1].first, 65u);
+  EXPECT_EQ(out[2].first, 75u);
+}
+
+TEST_F(AltIndexTest, ScanSeesInsertsAndSkipsRemoved) {
+  AltIndex index;
+  std::vector<std::pair<Key, Value>> pairs;
+  for (Key k = 0; k < 2000; k += 2) pairs.emplace_back(k, k);
+  ASSERT_TRUE(index.BulkLoad(pairs).ok());
+  for (Key k = 1; k < 2000; k += 2) ASSERT_TRUE(index.Insert(k, k));
+  for (Key k = 0; k < 2000; k += 10) ASSERT_TRUE(index.Remove(k));
+  std::vector<std::pair<Key, Value>> out;
+  index.Scan(0, 5000, &out);
+  std::vector<Key> expect;
+  for (Key k = 0; k < 2000; ++k) {
+    if (k % 10 != 0 || k % 2 == 1) expect.push_back(k);
+  }
+  ASSERT_EQ(out.size(), expect.size());
+  for (size_t i = 0; i < expect.size(); ++i) EXPECT_EQ(out[i].first, expect[i]);
+}
+
+TEST_F(AltIndexTest, RangeQueryInclusiveBounds) {
+  AltIndex index;
+  std::vector<std::pair<Key, Value>> pairs;
+  for (Key k = 1; k <= 100; ++k) pairs.emplace_back(k * 100, k);
+  ASSERT_TRUE(index.BulkLoad(pairs).ok());
+  std::vector<std::pair<Key, Value>> out;
+  EXPECT_EQ(index.RangeQuery(500, 1000, &out), 6u);
+  EXPECT_EQ(out.front().first, 500u);
+  EXPECT_EQ(out.back().first, 1000u);
+  EXPECT_EQ(index.RangeQuery(501, 599, &out), 0u);
+  EXPECT_EQ(index.RangeQuery(1000, 500, &out), 0u);  // inverted range
+}
+
+// ---------------------------------------------------------------------------
+// Option ablations
+// ---------------------------------------------------------------------------
+
+class AltOptionsTest : public ::testing::TestWithParam<int> {
+ protected:
+  void TearDown() override { EpochManager::Global().DrainAll(); }
+
+  static AltOptions MakeOptions(int variant) {
+    AltOptions o;
+    switch (variant) {
+      case 0: break;                                  // defaults
+      case 1: o.enable_fast_pointers = false; break;  // root-only ART search
+      case 2: o.enable_retraining = false; break;     // no expansions
+      case 3: o.gap_factor = 1.2; break;              // dense slots
+      case 4: o.gap_factor = 3.0; break;              // sparse slots
+      case 5: o.error_bound = 32; break;              // small epsilon
+      case 6: o.error_bound = 2048; break;            // large epsilon
+      default: break;
+    }
+    return o;
+  }
+};
+
+TEST_P(AltOptionsTest, FullLifecycleCorrectUnderAnyConfig) {
+  AltIndex index(MakeOptions(GetParam()));
+  auto keys = GenerateKeys(Dataset::kOsm, 30000, 41);
+  std::vector<std::pair<Key, Value>> loaded, extra;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    (i % 2 ? extra : loaded).emplace_back(keys[i], ValueFor(keys[i]));
+  }
+  ASSERT_TRUE(index.BulkLoad(loaded).ok());
+  for (const auto& [k, v] : extra) ASSERT_TRUE(index.Insert(k, v));
+  for (const auto& [k, v] : loaded) {
+    Value got;
+    ASSERT_TRUE(index.Lookup(k, &got));
+    EXPECT_EQ(got, v);
+  }
+  for (size_t i = 0; i < keys.size(); i += 4) ASSERT_TRUE(index.Remove(keys[i]));
+  for (size_t i = 0; i < keys.size(); ++i) {
+    Value got;
+    EXPECT_EQ(index.Lookup(keys[i], &got), i % 4 != 0);
+  }
+  std::vector<std::pair<Key, Value>> out;
+  index.Scan(keys[10], 64, &out);
+  for (size_t i = 1; i < out.size(); ++i) EXPECT_LT(out[i - 1].first, out[i].first);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, AltOptionsTest, ::testing::Range(0, 7));
+
+// Error-bound / model-count relation (Eq. 1): bigger epsilon, fewer models.
+TEST_F(AltIndexTest, ModelCountInverseToErrorBound) {
+  auto pairs = MakePairs(GenerateKeys(Dataset::kLonglat, 60000, 3));
+  size_t prev = ~size_t{0};
+  for (double eps : {16.0, 64.0, 256.0, 1024.0}) {
+    AltOptions o;
+    o.error_bound = eps;
+    AltIndex index(o);
+    ASSERT_TRUE(index.BulkLoad(pairs).ok());
+    const size_t models = index.CollectStats().num_models;
+    EXPECT_LE(models, prev) << "eps=" << eps;
+    prev = models;
+  }
+}
+
+// ART share grows with epsilon (Eq. 3): bigger parallelograms, more conflicts.
+TEST_F(AltIndexTest, ArtShareGrowsWithErrorBound) {
+  auto pairs = MakePairs(GenerateKeys(Dataset::kOsm, 60000, 3));
+  double prev_share = -1;
+  std::vector<double> shares;
+  for (double eps : {16.0, 256.0, 4096.0}) {
+    AltOptions o;
+    o.error_bound = eps;
+    AltIndex index(o);
+    ASSERT_TRUE(index.BulkLoad(pairs).ok());
+    const auto st = index.CollectStats();
+    shares.push_back(static_cast<double>(st.art_keys) /
+                     static_cast<double>(pairs.size()));
+  }
+  EXPECT_LE(shares[0], shares[2] + 0.05)
+      << "conflict share should not shrink as epsilon grows";
+  (void)prev_share;
+}
+
+TEST_F(AltIndexTest, MemoryUsageIsPlausible) {
+  AltIndex index;
+  auto pairs = MakePairs(GenerateKeys(Dataset::kLibio, 50000, 3));
+  ASSERT_TRUE(index.BulkLoad(pairs).ok());
+  const size_t bytes = index.MemoryUsage();
+  // At least the raw data, at most ~100 bytes/key for this config.
+  EXPECT_GT(bytes, pairs.size() * sizeof(Key));
+  EXPECT_LT(bytes, pairs.size() * 120);
+}
+
+TEST_F(AltIndexTest, KeyZeroIsALegalKey) {
+  AltIndex index;
+  std::vector<std::pair<Key, Value>> pairs{{0, 111}, {5, 222}, {10, 333}};
+  ASSERT_TRUE(index.BulkLoad(pairs).ok());
+  Value v;
+  ASSERT_TRUE(index.Lookup(0, &v));
+  EXPECT_EQ(v, 111u);
+  ASSERT_TRUE(index.Remove(0));
+  EXPECT_FALSE(index.Lookup(0, &v));
+  EXPECT_TRUE(index.Insert(0, 444));
+  ASSERT_TRUE(index.Lookup(0, &v));
+  EXPECT_EQ(v, 444u);
+}
+
+
+TEST_F(AltIndexTest, IteratorWalksEverything) {
+  AltIndex index;
+  auto keys = GenerateKeys(Dataset::kFb, 20000, 3);
+  auto pairs = MakePairs(keys);
+  ASSERT_TRUE(index.BulkLoad(pairs).ok());
+  AltIndex::Iterator it(index);
+  size_t i = 0;
+  for (it.Seek(0); it.Valid(); it.Next(), ++i) {
+    ASSERT_LT(i, keys.size());
+    ASSERT_EQ(it.key(), keys[i]);
+    ASSERT_EQ(it.value(), ValueFor(keys[i]));
+  }
+  EXPECT_EQ(i, keys.size());
+}
+
+TEST_F(AltIndexTest, IteratorSeekMidAndBounded) {
+  AltIndex index;
+  std::vector<std::pair<Key, Value>> pairs;
+  for (Key k = 0; k < 3000; ++k) pairs.emplace_back(k * 5, k);
+  ASSERT_TRUE(index.BulkLoad(pairs).ok());
+  AltIndex::Iterator it(index);
+  // Seek between keys lands on the next one.
+  it.Seek(501);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 505u);
+  // Bounded walk.
+  size_t n = 0;
+  for (it.Seek(1000); it.Valid() && it.key() <= 2000; it.Next()) ++n;
+  EXPECT_EQ(n, 201u);  // 1000, 1005, ..., 2000
+  // Seek past the end.
+  it.Seek(3000 * 5);
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST_F(AltIndexTest, IteratorCrossesModelAndLayerBoundaries) {
+  AltIndex index;
+  auto keys = GenerateKeys(Dataset::kLonglat, 30000, 9);
+  auto pairs = MakePairs(keys);
+  ASSERT_TRUE(index.BulkLoad(pairs).ok());
+  // Mutate: remove some, insert others, so both layers contribute.
+  for (size_t i = 0; i < keys.size(); i += 9) index.Remove(keys[i]);
+  AltIndex::Iterator it(index);
+  Key prev = 0;
+  size_t count = 0;
+  for (it.Seek(0); it.Valid(); it.Next()) {
+    if (count > 0) ASSERT_GT(it.key(), prev);
+    prev = it.key();
+    ++count;
+  }
+  EXPECT_EQ(count, index.Size());
+}
+
+class RadixUpperModelTest : public ::testing::TestWithParam<int> {
+ protected:
+  void TearDown() override { EpochManager::Global().DrainAll(); }
+};
+
+// The radix-accelerated Locate must agree with pure binary search for every
+// key, including after tail-model appends.
+TEST_P(RadixUpperModelTest, FullLifecycleAcrossRadixWidths) {
+  AltOptions o;
+  o.upper_radix_bits = GetParam();
+  o.retrain_trigger_ratio = 0.5;
+  AltIndex index(o);
+  auto keys = GenerateKeys(Dataset::kOsm, 25000, 3);
+  std::vector<std::pair<Key, Value>> loaded, extra;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    (i % 2 ? extra : loaded).emplace_back(keys[i], ValueFor(keys[i]));
+  }
+  ASSERT_TRUE(index.BulkLoad(loaded).ok());
+  for (const auto& [k, v] : extra) ASSERT_TRUE(index.Insert(k, v));
+  for (const auto& [k, v] : loaded) {
+    Value got;
+    ASSERT_TRUE(index.Lookup(k, &got)) << "radix=" << GetParam();
+    EXPECT_EQ(got, v);
+  }
+  for (size_t i = 0; i < keys.size(); i += 5) ASSERT_TRUE(index.Remove(keys[i]));
+  for (size_t i = 0; i < keys.size(); ++i) {
+    Value got;
+    EXPECT_EQ(index.Lookup(keys[i], &got), i % 5 != 0);
+  }
+  std::vector<std::pair<Key, Value>> out;
+  index.Scan(keys[7], 100, &out);
+  for (size_t i = 1; i < out.size(); ++i) EXPECT_LT(out[i - 1].first, out[i].first);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RadixUpperModelTest, ::testing::Values(0, 6, 10, 14));
+
+}  // namespace
+}  // namespace alt

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "art/art_tree.h"
+#include "common/epoch.h"
+#include "common/random.h"
+#include "common/zipf.h"
+#include "core/fast_pointer_buffer.h"
+#include "datasets/dataset.h"
+
+namespace alt {
+namespace {
+
+using art::ArtTree;
+using art::HintOutcome;
+
+class ArtEdgeTest : public ::testing::Test {
+ protected:
+  void TearDown() override { EpochManager::Global().DrainAll(); }
+};
+
+// ---------------------------------------------------------------------------
+// Shrinking paths: grow nodes to each fanout, then remove back down.
+// ---------------------------------------------------------------------------
+
+TEST_F(ArtEdgeTest, ShrinkNode256To48) {
+  ArtTree tree;
+  EpochGuard g;
+  const Key base = 0x7700000000000000ULL;
+  for (uint64_t b = 0; b < 200; ++b) tree.Insert(base | (b << 32), b);
+  auto before = tree.CollectStats();
+  ASSERT_GE(before.n256, 2u) << "root + the grown inner node";
+  // Remove down to 20 children: 256 -> 48 (and further). Only the fixed
+  // Node256 root remains at that fanout.
+  for (uint64_t b = 20; b < 200; ++b) EXPECT_TRUE(tree.Remove(base | (b << 32)));
+  auto after = tree.CollectStats();
+  EXPECT_EQ(after.n256, 1u) << "only the permanent root stays a Node256";
+  EXPECT_LT(after.bytes, before.bytes);
+  for (uint64_t b = 0; b < 20; ++b) {
+    Value v;
+    ASSERT_TRUE(tree.Lookup(base | (b << 32), &v));
+    EXPECT_EQ(v, b);
+  }
+}
+
+TEST_F(ArtEdgeTest, ShrinkNode48To16AndNode16To4) {
+  ArtTree tree;
+  EpochGuard g;
+  const Key base = 0x3300000000000000ULL;
+  for (uint64_t b = 0; b < 40; ++b) tree.Insert(base | (b << 24), b);
+  ASSERT_GE(tree.CollectStats().n48, 1u);
+  for (uint64_t b = 2; b < 40; ++b) EXPECT_TRUE(tree.Remove(base | (b << 24)));
+  const auto stats = tree.CollectStats();
+  EXPECT_EQ(stats.n48, 0u);
+  Value v;
+  EXPECT_TRUE(tree.Lookup(base | (0ull << 24), &v));
+  EXPECT_TRUE(tree.Lookup(base | (1ull << 24), &v));
+}
+
+TEST_F(ArtEdgeTest, RemoveMergeConcatenatesLongPrefixes) {
+  ArtTree tree;
+  EpochGuard g;
+  // Three keys: two share a 7-byte prefix; the third diverges at byte 2.
+  const Key a = 0x1112131415161718ULL;
+  const Key b = 0x1112131415161719ULL;
+  const Key c = 0x11FF000000000000ULL;
+  tree.Insert(a, 1);
+  tree.Insert(b, 2);
+  tree.Insert(c, 3);
+  // Removing c merges the split node; the deep pair's path re-compresses.
+  EXPECT_TRUE(tree.Remove(c));
+  Value v;
+  ASSERT_TRUE(tree.Lookup(a, &v));
+  EXPECT_EQ(v, 1u);
+  ASSERT_TRUE(tree.Lookup(b, &v));
+  EXPECT_EQ(v, 2u);
+  // Removing b leaves a single leaf reachable through the merged path.
+  EXPECT_TRUE(tree.Remove(b));
+  ASSERT_TRUE(tree.Lookup(a, &v));
+  EXPECT_EQ(v, 1u);
+  EXPECT_FALSE(tree.Lookup(b, &v));
+}
+
+TEST_F(ArtEdgeTest, InsertRemoveEverythingRepeatedly) {
+  ArtTree tree;
+  EpochGuard g;
+  auto keys = GenerateKeys(Dataset::kLognormal, 3000, 5);
+  for (int round = 0; round < 4; ++round) {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      ASSERT_TRUE(tree.Insert(keys[i], i + round)) << round << " " << i;
+    }
+    EXPECT_EQ(tree.Size(), keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      ASSERT_TRUE(tree.Remove(keys[i])) << round << " " << i;
+    }
+    EXPECT_EQ(tree.Size(), 0u);
+    EXPECT_EQ(tree.CollectStats().leaves, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hint entry points
+// ---------------------------------------------------------------------------
+
+TEST_F(ArtEdgeTest, LookupFromObsoleteHintReportsNeedRoot) {
+  ArtTree tree;
+  EpochGuard g;
+  const Key base = 0x4400000000000000ULL;
+  // Build a Node4 and keep a pointer to it.
+  tree.Insert(base | (1ull << 40), 1);
+  tree.Insert(base | (2ull << 40), 2);
+  int depth = 0;
+  art::Node* node = tree.FindLcaNode(base | (1ull << 40), base | (2ull << 40), &depth);
+  ASSERT_NE(node, tree.root());
+  // Grow it past 4 children: the node is replaced and marked obsolete.
+  for (uint64_t b = 3; b <= 6; ++b) tree.Insert(base | (b << 40), b);
+  Value v;
+  EXPECT_EQ(tree.LookupFrom(node, base | (1ull << 40), &v), HintOutcome::kNeedRoot);
+  EXPECT_EQ(tree.InsertFrom(node, base | (9ull << 40), 9), HintOutcome::kNeedRoot);
+}
+
+TEST_F(ArtEdgeTest, InsertFromHintNeedsRootWhenHintMustGrow) {
+  ArtTree tree;
+  EpochGuard g;
+  const Key base = 0x5500000000000000ULL;
+  for (uint64_t b = 1; b <= 4; ++b) tree.Insert(base | (b << 40), b);
+  int depth = 0;
+  art::Node* node = tree.FindLcaNode(base | (1ull << 40), base | (4ull << 40), &depth);
+  // Node4 is full; inserting a fifth distinct branch via the hint requires
+  // growing the hint node itself, whose parent the hint path cannot know.
+  const HintOutcome r = tree.InsertFrom(node, base | (5ull << 40), 5);
+  EXPECT_EQ(r, HintOutcome::kNeedRoot);
+  // The root-based fallback performs the growth.
+  EXPECT_TRUE(tree.Insert(base | (5ull << 40), 5));
+  Value v;
+  ASSERT_TRUE(tree.Lookup(base | (5ull << 40), &v));
+  EXPECT_EQ(v, 5u);
+}
+
+TEST_F(ArtEdgeTest, LookupFromDeepHintAfterManyMutations) {
+  ArtTree tree;
+  FastPointerBuffer buf;
+  tree.SetListener(&buf);
+  EpochGuard g;
+  auto keys = GenerateKeys(Dataset::kFb, 20000, 17);
+  for (size_t i = 0; i < keys.size(); i += 2) tree.Insert(keys[i], i);
+  int depth = 0;
+  const size_t lo_i = keys.size() / 4, hi_i = lo_i + 400;
+  art::Node* lca = tree.FindLcaNode(keys[lo_i], keys[hi_i], &depth);
+  const int32_t slot = buf.AddPointer(lca, depth, KeyPrefix(keys[lo_i], depth));
+  // Heavy mutation inside and around the hinted range.
+  for (size_t i = 1; i < keys.size(); i += 2) tree.Insert(keys[i], i);
+  for (size_t i = lo_i; i < hi_i; i += 3) tree.Remove(keys[i]);
+  // The (possibly relocated) entry still answers every surviving range key.
+  const auto ref = buf.Get(slot);
+  for (size_t i = lo_i; i <= hi_i; ++i) {
+    Value v;
+    const bool expect = !(i >= lo_i && i < hi_i && (i - lo_i) % 3 == 0);
+    bool found;
+    if (ref.node != nullptr && FastPointerBuffer::Covers(ref, keys[i])) {
+      const HintOutcome r = tree.LookupFrom(ref.node, keys[i], &v);
+      found = r == HintOutcome::kFound ||
+              (r != HintOutcome::kFound && tree.Lookup(keys[i], &v));
+    } else {
+      found = tree.Lookup(keys[i], &v);
+    }
+    EXPECT_EQ(found, expect) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scans under adversarial structure
+// ---------------------------------------------------------------------------
+
+TEST_F(ArtEdgeTest, ScanOverDeepPrefixClusters) {
+  ArtTree tree;
+  EpochGuard g;
+  // Clusters of keys sharing 6-byte prefixes, far apart.
+  std::vector<Key> all;
+  Rng rng(3);
+  for (int c = 0; c < 50; ++c) {
+    const Key base = rng.Next() & ~Key{0xFFFF};
+    for (int i = 0; i < 40; ++i) all.push_back(base | static_cast<Key>(i * 7));
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  for (size_t i = 0; i < all.size(); ++i) tree.Insert(all[i], i);
+  std::vector<std::pair<Key, Value>> out;
+  for (size_t start = 0; start + 60 < all.size(); start += 123) {
+    ASSERT_EQ(tree.Scan(all[start], 60, &out), 60u);
+    for (size_t i = 0; i < 60; ++i) EXPECT_EQ(out[i].first, all[start + i]);
+  }
+}
+
+TEST_F(ArtEdgeTest, RangeQueryTightWindows) {
+  ArtTree tree;
+  EpochGuard g;
+  for (Key k = 0; k < 1000; ++k) tree.Insert(k * 1000, k);
+  std::vector<std::pair<Key, Value>> out;
+  EXPECT_EQ(tree.RangeQuery(5000, 5000, &out), 1u);       // exact single
+  EXPECT_EQ(tree.RangeQuery(5001, 5999, &out), 0u);       // between keys
+  EXPECT_EQ(tree.RangeQuery(0, 0, &out), 1u);             // smallest key
+  EXPECT_EQ(tree.RangeQuery(999000, ~Key{0}, &out), 1u);  // largest key
+}
+
+// ---------------------------------------------------------------------------
+// Zipf high-skew branch (theta > 1)
+// ---------------------------------------------------------------------------
+
+TEST(ZipfEdgeTest, ThetaAboveOneStillBounded) {
+  Zipf z(5000, 1.3, 3);
+  int top = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t r = z.Next();
+    ASSERT_LT(r, 5000u);
+    top += (r == 0);
+  }
+  EXPECT_GT(top, 2000) << "theta=1.3 concentrates hard on rank 0";
+}
+
+}  // namespace
+}  // namespace alt

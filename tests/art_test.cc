@@ -1,0 +1,378 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "art/art_tree.h"
+#include "common/epoch.h"
+#include "common/random.h"
+#include "datasets/dataset.h"
+
+namespace alt {
+namespace {
+
+using art::ArtTree;
+using art::HintOutcome;
+
+class ArtTest : public ::testing::Test {
+ protected:
+  void TearDown() override { EpochManager::Global().DrainAll(); }
+};
+
+TEST_F(ArtTest, EmptyTreeLookupMisses) {
+  ArtTree tree;
+  EpochGuard g;
+  Value v;
+  EXPECT_FALSE(tree.Lookup(123, &v));
+  EXPECT_EQ(tree.Size(), 0u);
+}
+
+TEST_F(ArtTest, InsertAndLookupSingle) {
+  ArtTree tree;
+  EpochGuard g;
+  EXPECT_TRUE(tree.Insert(42, 4200));
+  Value v = 0;
+  EXPECT_TRUE(tree.Lookup(42, &v));
+  EXPECT_EQ(v, 4200u);
+  EXPECT_EQ(tree.Size(), 1u);
+}
+
+TEST_F(ArtTest, DuplicateInsertRejected) {
+  ArtTree tree;
+  EpochGuard g;
+  EXPECT_TRUE(tree.Insert(42, 1));
+  EXPECT_FALSE(tree.Insert(42, 2));
+  Value v;
+  ASSERT_TRUE(tree.Lookup(42, &v));
+  EXPECT_EQ(v, 1u);
+}
+
+TEST_F(ArtTest, KeyZeroAndMaxAreLegal) {
+  ArtTree tree;
+  EpochGuard g;
+  EXPECT_TRUE(tree.Insert(0, 100));
+  EXPECT_TRUE(tree.Insert(~Key{0}, 200));
+  Value v;
+  EXPECT_TRUE(tree.Lookup(0, &v));
+  EXPECT_EQ(v, 100u);
+  EXPECT_TRUE(tree.Lookup(~Key{0}, &v));
+  EXPECT_EQ(v, 200u);
+}
+
+TEST_F(ArtTest, SimilarKeysForcePrefixSplits) {
+  // Keys sharing long prefixes exercise leaf splits and path compression.
+  ArtTree tree;
+  EpochGuard g;
+  std::vector<Key> keys = {0x1111111111111100ULL, 0x1111111111111101ULL,
+                           0x1111111111110000ULL, 0x1111111100000000ULL,
+                           0x1111000000000000ULL, 0x1111111111111110ULL};
+  for (size_t i = 0; i < keys.size(); ++i) EXPECT_TRUE(tree.Insert(keys[i], i));
+  for (size_t i = 0; i < keys.size(); ++i) {
+    Value v;
+    ASSERT_TRUE(tree.Lookup(keys[i], &v)) << std::hex << keys[i];
+    EXPECT_EQ(v, i);
+  }
+  // Near misses must not match.
+  Value v;
+  EXPECT_FALSE(tree.Lookup(0x1111111111111102ULL, &v));
+  EXPECT_FALSE(tree.Lookup(0x1111111111110001ULL, &v));
+}
+
+TEST_F(ArtTest, NodeGrowthThroughAllFanouts) {
+  // 256 keys differing in one byte grow a node 4 -> 16 -> 48 -> 256.
+  ArtTree tree;
+  EpochGuard g;
+  for (uint64_t b = 0; b < 256; ++b) {
+    ASSERT_TRUE(tree.Insert(0xAA00000000000000ULL | (b << 32), b));
+  }
+  auto stats = tree.CollectStats();
+  EXPECT_GE(stats.n256, 1u);
+  for (uint64_t b = 0; b < 256; ++b) {
+    Value v;
+    ASSERT_TRUE(tree.Lookup(0xAA00000000000000ULL | (b << 32), &v));
+    EXPECT_EQ(v, b);
+  }
+}
+
+TEST_F(ArtTest, UpdateInPlace) {
+  ArtTree tree;
+  EpochGuard g;
+  tree.Insert(7, 1);
+  EXPECT_TRUE(tree.Update(7, 99));
+  Value v;
+  ASSERT_TRUE(tree.Lookup(7, &v));
+  EXPECT_EQ(v, 99u);
+  EXPECT_FALSE(tree.Update(8, 1));
+}
+
+TEST_F(ArtTest, RemoveBasic) {
+  ArtTree tree;
+  EpochGuard g;
+  tree.Insert(1, 10);
+  tree.Insert(2, 20);
+  tree.Insert(3, 30);
+  Value old = 0;
+  EXPECT_TRUE(tree.Remove(2, &old));
+  EXPECT_EQ(old, 20u);
+  Value v;
+  EXPECT_FALSE(tree.Lookup(2, &v));
+  EXPECT_TRUE(tree.Lookup(1, &v));
+  EXPECT_TRUE(tree.Lookup(3, &v));
+  EXPECT_FALSE(tree.Remove(2));
+  EXPECT_EQ(tree.Size(), 2u);
+}
+
+TEST_F(ArtTest, RemoveMergesAndShrinksNodes) {
+  ArtTree tree;
+  EpochGuard g;
+  std::vector<Key> keys;
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) keys.push_back(rng.Next());
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  for (size_t i = 0; i < keys.size(); ++i) tree.Insert(keys[i], i);
+  // Remove every second key, then verify the rest.
+  for (size_t i = 0; i < keys.size(); i += 2) EXPECT_TRUE(tree.Remove(keys[i]));
+  for (size_t i = 0; i < keys.size(); ++i) {
+    Value v;
+    EXPECT_EQ(tree.Lookup(keys[i], &v), i % 2 == 1) << i;
+  }
+  // Remove everything; tree drains to just the root.
+  for (size_t i = 1; i < keys.size(); i += 2) EXPECT_TRUE(tree.Remove(keys[i]));
+  EXPECT_EQ(tree.Size(), 0u);
+  auto stats = tree.CollectStats();
+  EXPECT_EQ(stats.leaves, 0u);
+}
+
+TEST_F(ArtTest, ScanReturnsSortedRange) {
+  ArtTree tree;
+  EpochGuard g;
+  std::vector<Key> keys = GenerateKeys(Dataset::kOsm, 5000, 77);
+  for (size_t i = 0; i < keys.size(); ++i) tree.Insert(keys[i], ValueFor(keys[i]));
+  std::vector<std::pair<Key, Value>> out;
+  const size_t got = tree.Scan(keys[1000], 200, &out);
+  ASSERT_EQ(got, 200u);
+  for (size_t i = 0; i < got; ++i) {
+    EXPECT_EQ(out[i].first, keys[1000 + i]);
+    EXPECT_EQ(out[i].second, ValueFor(keys[1000 + i]));
+  }
+}
+
+TEST_F(ArtTest, ScanPastEndTruncates) {
+  ArtTree tree;
+  EpochGuard g;
+  for (Key k = 10; k < 20; ++k) tree.Insert(k, k);
+  std::vector<std::pair<Key, Value>> out;
+  EXPECT_EQ(tree.Scan(15, 100, &out), 5u);
+  EXPECT_EQ(tree.Scan(100, 10, &out), 0u);
+}
+
+TEST_F(ArtTest, RangeQueryInclusive) {
+  ArtTree tree;
+  EpochGuard g;
+  for (Key k = 0; k < 100; ++k) tree.Insert(k * 10, k);
+  std::vector<std::pair<Key, Value>> out;
+  EXPECT_EQ(tree.RangeQuery(100, 200, &out), 11u);
+  EXPECT_EQ(out.front().first, 100u);
+  EXPECT_EQ(out.back().first, 200u);
+}
+
+TEST_F(ArtTest, FindLcaCoversRange) {
+  ArtTree tree;
+  EpochGuard g;
+  std::vector<Key> keys = GenerateKeys(Dataset::kFb, 20000, 3);
+  for (size_t i = 0; i < keys.size(); ++i) tree.Insert(keys[i], i);
+  Rng rng(9);
+  for (int t = 0; t < 200; ++t) {
+    const size_t a = rng.NextBounded(keys.size());
+    const size_t b = std::min(a + 1 + rng.NextBounded(50), keys.size() - 1);
+    int depth = 0;
+    art::Node* lca = tree.FindLcaNode(keys[a], keys[b], &depth);
+    ASSERT_NE(lca, nullptr);
+    EXPECT_EQ(depth, lca->match_level.load());
+    // Every key in [a, b] must be findable from the LCA.
+    for (size_t i = a; i <= b; i += std::max<size_t>(1, (b - a) / 5)) {
+      Value v;
+      EXPECT_EQ(tree.LookupFrom(lca, keys[i], &v), HintOutcome::kFound);
+      EXPECT_EQ(v, i);
+    }
+  }
+}
+
+TEST_F(ArtTest, LookupFromRootEqualsLookup) {
+  ArtTree tree;
+  EpochGuard g;
+  for (Key k = 1; k <= 1000; ++k) tree.Insert(k * 7919, k);
+  for (Key k = 1; k <= 1000; ++k) {
+    Value v;
+    EXPECT_EQ(tree.LookupFrom(tree.root(), k * 7919, &v), HintOutcome::kFound);
+    EXPECT_EQ(v, k);
+  }
+  Value v;
+  EXPECT_EQ(tree.LookupFrom(tree.root(), 13, &v), HintOutcome::kNotFound);
+}
+
+TEST_F(ArtTest, InsertFromHintSubtree) {
+  ArtTree tree;
+  EpochGuard g;
+  // Build a subtree under a shared 4-byte prefix.
+  const Key base = 0xDEADBEEF00000000ULL;
+  for (uint64_t i = 0; i < 1000; ++i) tree.Insert(base | (i * 3), i);
+  int depth = 0;
+  art::Node* lca = tree.FindLcaNode(base, base | 0xFFFFFFFF, &depth);
+  ASSERT_NE(lca, nullptr);
+  // Insert new keys through the hint.
+  int need_root = 0;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    const Key k = base | (i * 3 + 1);
+    const HintOutcome r = tree.InsertFrom(lca, k, i + 5000);
+    if (r == HintOutcome::kNeedRoot) {
+      ++need_root;
+      EXPECT_TRUE(tree.Insert(k, i + 5000));
+    } else {
+      EXPECT_EQ(r, HintOutcome::kInserted);
+    }
+  }
+  for (uint64_t i = 0; i < 1000; ++i) {
+    Value v;
+    ASSERT_TRUE(tree.Lookup(base | (i * 3 + 1), &v)) << i;
+    EXPECT_EQ(v, i + 5000);
+  }
+  // Duplicate through hint reports kExists.
+  EXPECT_EQ(tree.InsertFrom(lca, base | 1, 0), HintOutcome::kExists);
+}
+
+TEST_F(ArtTest, MatchLevelConsistentAfterMutations) {
+  ArtTree tree;
+  EpochGuard g;
+  std::vector<Key> keys = GenerateKeys(Dataset::kLonglat, 20000, 21);
+  for (size_t i = 0; i < keys.size(); ++i) tree.Insert(keys[i], i);
+  for (size_t i = 0; i < keys.size(); i += 3) tree.Remove(keys[i]);
+  // The root always sits at depth 0 with no compressed path.
+  EXPECT_EQ(tree.root()->match_level.load(), 0);
+  EXPECT_EQ(tree.root()->prefix_len.load(), 0);
+  // Sampled check via FindLcaNode on random ranges: the reported depth must
+  // equal the node's own match_level after all the splits/merges above.
+  Rng rng(3);
+  for (int t = 0; t < 100; ++t) {
+    const size_t a = rng.NextBounded(keys.size() - 2);
+    int depth = 0;
+    art::Node* lca = tree.FindLcaNode(keys[a], keys[a + 1], &depth);
+    EXPECT_EQ(lca->match_level.load(), depth);
+    EXPECT_LE(depth, 7);
+  }
+}
+
+TEST_F(ArtTest, CollectStatsCountsEverything) {
+  ArtTree tree;
+  EpochGuard g;
+  auto keys = GenerateKeys(Dataset::kUniform, 10000, 31);
+  for (size_t i = 0; i < keys.size(); ++i) tree.Insert(keys[i], i);
+  auto stats = tree.CollectStats();
+  EXPECT_EQ(stats.leaves, keys.size());
+  EXPECT_GT(stats.bytes, keys.size() * sizeof(art::Leaf));
+  EXPECT_GT(stats.n4 + stats.n16 + stats.n48 + stats.n256, 0u);
+  EXPECT_LE(stats.height, 9u);
+  EXPECT_EQ(tree.MemoryUsage(), stats.bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency
+// ---------------------------------------------------------------------------
+
+TEST_F(ArtTest, ConcurrentDisjointInserts) {
+  ArtTree tree;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tree, t] {
+      Rng rng(1000 + t);
+      for (int i = 0; i < kPerThread; ++i) {
+        EpochGuard g;
+        const Key k = (static_cast<Key>(t) << 56) | (rng.Next() >> 8);
+        tree.Insert(k, static_cast<Value>(t));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EpochGuard g;
+  auto stats = tree.CollectStats();
+  EXPECT_EQ(stats.leaves, tree.Size());
+}
+
+TEST_F(ArtTest, ConcurrentMixedReadWriteRemove) {
+  ArtTree tree;
+  std::vector<Key> keys = GenerateKeys(Dataset::kOsm, 40000, 55);
+  {
+    EpochGuard g;
+    for (size_t i = 0; i < keys.size(); i += 2) tree.Insert(keys[i], i);
+  }
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  // Writers insert the odd keys; removers delete multiples of 6 (even);
+  // readers hammer lookups of keys nobody is touching (i % 6 in {2, 4}).
+  threads.emplace_back([&] {
+    EpochGuard g;
+    for (size_t i = 1; i < keys.size(); i += 2) {
+      if (!tree.Insert(keys[i], i)) failed.store(true);
+    }
+  });
+  threads.emplace_back([&] {
+    EpochGuard g;
+    for (size_t i = 0; i < keys.size(); i += 6) {
+      if (!tree.Remove(keys[i])) failed.store(true);
+    }
+  });
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&, r] {
+      EpochGuard g;
+      for (size_t i = 2 + 2 * static_cast<size_t>(r); i < keys.size(); i += 6) {
+        Value v;
+        if (!tree.Lookup(keys[i], &v) || v != i) failed.store(true);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+  // Final state: odd keys present, multiples of 6 absent, rest present.
+  EpochGuard g;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    Value v;
+    const bool expect_present = (i % 2 == 1) || (i % 6 != 0);
+    EXPECT_EQ(tree.Lookup(keys[i], &v), expect_present) << i;
+  }
+}
+
+TEST_F(ArtTest, ConcurrentScansDuringInserts) {
+  ArtTree tree;
+  std::vector<Key> keys = GenerateKeys(Dataset::kLibio, 20000, 66);
+  {
+    EpochGuard g;
+    for (size_t i = 0; i < keys.size(); i += 2) tree.Insert(keys[i], i);
+  }
+  std::atomic<bool> failed{false};
+  std::thread writer([&] {
+    EpochGuard g;
+    for (size_t i = 1; i < keys.size(); i += 2) tree.Insert(keys[i], i);
+  });
+  std::thread scanner([&] {
+    EpochGuard g;
+    std::vector<std::pair<Key, Value>> out;
+    for (int r = 0; r < 50; ++r) {
+      tree.Scan(keys[r * 100], 100, &out);
+      for (size_t i = 1; i < out.size(); ++i) {
+        if (out[i - 1].first >= out[i].first) failed.store(true);
+      }
+    }
+  });
+  writer.join();
+  scanner.join();
+  EXPECT_FALSE(failed.load());
+}
+
+}  // namespace
+}  // namespace alt

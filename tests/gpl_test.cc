@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/alt_options.h"
+#include "core/gpl.h"
+#include "datasets/dataset.h"
+
+namespace alt {
+namespace {
+
+std::vector<Key> Linear(size_t n, Key step) {
+  std::vector<Key> keys(n);
+  for (size_t i = 0; i < n; ++i) keys[i] = 100 + static_cast<Key>(i) * step;
+  return keys;
+}
+
+// ---------------------------------------------------------------------------
+// GPL basics
+// ---------------------------------------------------------------------------
+
+TEST(GplTest, EmptyInput) {
+  EXPECT_TRUE(GplSegment(nullptr, 0, 16).empty());
+}
+
+TEST(GplTest, SingleKeyIsOneSegment) {
+  const Key k = 42;
+  auto segs = GplSegment(&k, 1, 16);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].start, 0u);
+  EXPECT_EQ(segs[0].length, 1u);
+}
+
+TEST(GplTest, PerfectlyLinearDataIsOneSegment) {
+  auto keys = Linear(100000, 7);
+  auto segs = GplSegment(keys.data(), keys.size(), 16);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].length, keys.size());
+  EXPECT_NEAR(segs[0].slope, 1.0 / 7.0, 1e-9);
+}
+
+TEST(GplTest, SegmentsPartitionTheInput) {
+  auto keys = GenerateKeys(Dataset::kOsm, 50000, 3);
+  auto segs = GplSegment(keys.data(), keys.size(), 64);
+  size_t expect_start = 0;
+  for (const auto& s : segs) {
+    EXPECT_EQ(s.start, expect_start);
+    EXPECT_GT(s.length, 0u);
+    expect_start += s.length;
+  }
+  EXPECT_EQ(expect_start, keys.size());
+}
+
+TEST(GplTest, StepFunctionSplits) {
+  // Two dense runs separated by a huge jump: at least 2 segments, split at
+  // the jump.
+  std::vector<Key> keys;
+  for (int i = 0; i < 1000; ++i) keys.push_back(1000 + i);
+  for (int i = 0; i < 1000; ++i) keys.push_back(1u << 30 | (1000 + i));
+  auto segs = GplSegment(keys.data(), keys.size(), 8);
+  EXPECT_GE(segs.size(), 2u);
+}
+
+// Error-bound property: the midpoint-slope model's prediction error is <= eps
+// for EVERY key of EVERY segment, on every dataset and every bound — the
+// core guarantee that lets ALT-index place keys at exact predicted slots.
+class GplErrorBoundTest
+    : public ::testing::TestWithParam<std::tuple<Dataset, double>> {};
+
+TEST_P(GplErrorBoundTest, MaxErrorWithinEpsilon) {
+  const auto [dataset, eps] = GetParam();
+  auto keys = GenerateKeys(dataset, 20000, 11);
+  auto segs = GplSegment(keys.data(), keys.size(), eps);
+  for (const auto& s : segs) {
+    EXPECT_LE(MaxSegmentError(keys.data(), s), eps + 1e-6)
+        << "segment at " << s.start << " len " << s.length;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, GplErrorBoundTest,
+    ::testing::Combine(::testing::Values(Dataset::kLibio, Dataset::kOsm, Dataset::kFb,
+                                         Dataset::kLonglat, Dataset::kUniform,
+                                         Dataset::kLognormal),
+                       ::testing::Values(4.0, 16.0, 64.0, 256.0)));
+
+// Eq. 1 shape: larger error bound => fewer models (inverse relationship).
+TEST(GplTest, ModelCountShrinksWithEpsilon) {
+  auto keys = GenerateKeys(Dataset::kLonglat, 100000, 5);
+  size_t prev = ~size_t{0};
+  for (double eps : {8.0, 32.0, 128.0, 512.0}) {
+    const size_t count = GplSegment(keys.data(), keys.size(), eps).size();
+    EXPECT_LE(count, prev) << "eps=" << eps;
+    prev = count;
+  }
+}
+
+// delta_h ordering (DESIGN.md §5): libio is the easiest CDF, longlat among
+// the hardest, at the paper's suggested epsilon.
+TEST(GplTest, DatasetDifficultyOrdering) {
+  constexpr size_t kN = 100000;
+  const double eps = AltOptions::SuggestErrorBound(kN);
+  auto count = [&](Dataset d) {
+    auto keys = GenerateKeys(d, kN, 5);
+    return GplSegment(keys.data(), keys.size(), eps).size();
+  };
+  const size_t libio = count(Dataset::kLibio);
+  const size_t longlat = count(Dataset::kLonglat);
+  EXPECT_LT(libio, longlat);
+}
+
+// ---------------------------------------------------------------------------
+// ShrinkingCone
+// ---------------------------------------------------------------------------
+
+TEST(ShrinkingConeTest, PartitionsInput) {
+  auto keys = GenerateKeys(Dataset::kFb, 30000, 9);
+  auto segs = ShrinkingConeSegment(keys.data(), keys.size(), 32);
+  size_t expect_start = 0;
+  for (const auto& s : segs) {
+    EXPECT_EQ(s.start, expect_start);
+    expect_start += s.length;
+  }
+  EXPECT_EQ(expect_start, keys.size());
+}
+
+TEST(ShrinkingConeTest, LinearDataOneSegment) {
+  auto keys = Linear(10000, 3);
+  auto segs = ShrinkingConeSegment(keys.data(), keys.size(), 16);
+  EXPECT_EQ(segs.size(), 1u);
+}
+
+TEST(ShrinkingConeTest, ErrorBoundedByEpsilonish) {
+  // The cone guarantees each point is within eps of SOME line through the
+  // apex; with the midpoint slope the error stays within 2*eps.
+  auto keys = GenerateKeys(Dataset::kOsm, 20000, 13);
+  const double eps = 32;
+  auto segs = ShrinkingConeSegment(keys.data(), keys.size(), eps);
+  for (const auto& s : segs) {
+    EXPECT_LE(MaxSegmentError(keys.data(), s), 2 * eps + 1e-6);
+  }
+}
+
+TEST(AlgorithmComparisonTest, BothCoverAllKeysWithComparableCounts) {
+  auto keys = GenerateKeys(Dataset::kLonglat, 50000, 3);
+  const double eps = 64;
+  auto gpl = GplSegment(keys.data(), keys.size(), eps);
+  auto cone = ShrinkingConeSegment(keys.data(), keys.size(), eps);
+  EXPECT_GT(gpl.size(), 0u);
+  EXPECT_GT(cone.size(), 0u);
+  // Both are O(n) single-pass splitters; counts land within a small factor.
+  const double ratio = static_cast<double>(gpl.size()) / static_cast<double>(cone.size());
+  EXPECT_GT(ratio, 0.1);
+  EXPECT_LT(ratio, 10.0);
+}
+
+}  // namespace
+}  // namespace alt

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "baselines/olc_btree.h"
+#include "common/random.h"
+#include "datasets/dataset.h"
+
+namespace alt {
+namespace {
+
+TEST(OlcBTreeTest, EmptyTree) {
+  OlcBTree tree;
+  Value v;
+  EXPECT_FALSE(tree.Lookup(1, &v));
+  EXPECT_EQ(tree.Size(), 0u);
+  EXPECT_EQ(tree.Height(), 1u);
+  std::vector<std::pair<Key, Value>> out;
+  EXPECT_EQ(tree.Scan(0, 10, &out), 0u);
+}
+
+TEST(OlcBTreeTest, SingleLeafOperations) {
+  OlcBTree tree;
+  for (Key k = 1; k <= 20; ++k) EXPECT_TRUE(tree.Insert(k, k * 10));
+  EXPECT_EQ(tree.Height(), 1u);  // fits in one leaf
+  Value v;
+  for (Key k = 1; k <= 20; ++k) {
+    ASSERT_TRUE(tree.Lookup(k, &v));
+    EXPECT_EQ(v, k * 10);
+  }
+  EXPECT_FALSE(tree.Insert(5, 1));
+  EXPECT_TRUE(tree.Update(5, 999));
+  ASSERT_TRUE(tree.Lookup(5, &v));
+  EXPECT_EQ(v, 999u);
+  EXPECT_TRUE(tree.Remove(5));
+  EXPECT_FALSE(tree.Lookup(5, &v));
+  EXPECT_FALSE(tree.Remove(5));
+}
+
+TEST(OlcBTreeTest, RootSplitGrowsHeight) {
+  OlcBTree tree;
+  for (Key k = 0; k < 100; ++k) ASSERT_TRUE(tree.Insert(k, k));
+  EXPECT_GT(tree.Height(), 1u);
+  Value v;
+  for (Key k = 0; k < 100; ++k) {
+    ASSERT_TRUE(tree.Lookup(k, &v)) << k;
+    EXPECT_EQ(v, k);
+  }
+}
+
+TEST(OlcBTreeTest, SequentialAndReverseInserts) {
+  for (const bool reverse : {false, true}) {
+    OlcBTree tree;
+    constexpr Key kN = 20000;
+    for (Key i = 0; i < kN; ++i) {
+      const Key k = reverse ? kN - 1 - i : i;
+      ASSERT_TRUE(tree.Insert(k * 3, k));
+    }
+    EXPECT_EQ(tree.Size(), kN);
+    Value v;
+    for (Key k = 0; k < kN; ++k) {
+      ASSERT_TRUE(tree.Lookup(k * 3, &v));
+      EXPECT_EQ(v, k);
+      EXPECT_FALSE(tree.Lookup(k * 3 + 1, &v));
+    }
+    // log-ish height for fanout 32.
+    EXPECT_LE(tree.Height(), 5u);
+  }
+}
+
+TEST(OlcBTreeTest, ScanAcrossLeafChain) {
+  OlcBTree tree;
+  for (Key k = 0; k < 5000; ++k) ASSERT_TRUE(tree.Insert(k * 2, k));
+  std::vector<std::pair<Key, Value>> out;
+  ASSERT_EQ(tree.Scan(1001, 500, &out), 500u);  // starts between keys
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].first, 1002 + 2 * i);
+  }
+  // Tail truncation.
+  EXPECT_EQ(tree.Scan(9990, 100, &out), 5u);
+}
+
+TEST(OlcBTreeTest, RandomKeysAgainstSortedOracle) {
+  OlcBTree tree;
+  auto keys = GenerateKeys(Dataset::kLognormal, 30000, 3);
+  Rng rng(9);
+  // Insert in random order.
+  std::vector<Key> shuffled = keys;
+  for (size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.NextBounded(i)]);
+  }
+  for (Key k : shuffled) ASSERT_TRUE(tree.Insert(k, ValueFor(k)));
+  // Scans agree with the sorted order.
+  std::vector<std::pair<Key, Value>> out;
+  tree.Scan(0, keys.size(), &out);
+  ASSERT_EQ(out.size(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(out[i].first, keys[i]);
+    ASSERT_EQ(out[i].second, ValueFor(keys[i]));
+  }
+}
+
+TEST(OlcBTreeTest, ConcurrentDisjointInserts) {
+  OlcBTree tree;
+  constexpr int kThreads = 8;
+  constexpr Key kPerThread = 20000;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (Key i = 0; i < kPerThread; ++i) {
+        const Key k = i * kThreads + static_cast<Key>(t);
+        if (!tree.Insert(k, k + 1)) failed.store(true);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_FALSE(failed.load());
+  EXPECT_EQ(tree.Size(), kPerThread * kThreads);
+  Value v;
+  for (Key k = 0; k < kPerThread * kThreads; ++k) {
+    ASSERT_TRUE(tree.Lookup(k, &v)) << k;
+    EXPECT_EQ(v, k + 1);
+  }
+}
+
+TEST(OlcBTreeTest, ConcurrentReadersDuringSplits) {
+  OlcBTree tree;
+  for (Key k = 0; k < 10000; ++k) tree.Insert(k * 4, k);
+  std::atomic<bool> failed{false};
+  std::thread writer([&] {
+    for (Key k = 0; k < 10000; ++k) {
+      if (!tree.Insert(k * 4 + 1, k)) failed.store(true);
+      if (!tree.Insert(k * 4 + 2, k)) failed.store(true);
+    }
+  });
+  std::thread reader([&] {
+    Value v;
+    for (int round = 0; round < 5; ++round) {
+      for (Key k = 0; k < 10000; k += 3) {
+        if (!tree.Lookup(k * 4, &v) || v != k) failed.store(true);
+      }
+    }
+  });
+  std::thread scanner([&] {
+    std::vector<std::pair<Key, Value>> out;
+    for (int r = 0; r < 40; ++r) {
+      tree.Scan(static_cast<Key>(r) * 997, 100, &out);
+      for (size_t i = 1; i < out.size(); ++i) {
+        if (out[i - 1].first >= out[i].first) failed.store(true);
+      }
+    }
+  });
+  writer.join();
+  reader.join();
+  scanner.join();
+  EXPECT_FALSE(failed.load());
+}
+
+TEST(OlcBTreeTest, MemoryGrowsWithData) {
+  OlcBTree tree;
+  const size_t empty = tree.MemoryUsage();
+  for (Key k = 0; k < 10000; ++k) tree.Insert(k, k);
+  EXPECT_GT(tree.MemoryUsage(), empty + 10000 * sizeof(Key));
+}
+
+}  // namespace
+}  // namespace alt

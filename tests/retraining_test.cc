@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/epoch.h"
+#include "core/alt_index.h"
+#include "datasets/dataset.h"
+
+namespace alt {
+namespace {
+
+class RetrainingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { EpochManager::Global().DrainAll(); }
+};
+
+// Hammer one small key region with inserts so a single GPL model's insert
+// count far exceeds its build size — the §III-F trigger.
+TEST_F(RetrainingTest, HotInsertsTriggerAndFinishExpansion) {
+  AltOptions opts;
+  opts.retrain_trigger_ratio = 0.5;
+  AltIndex index(opts);
+  // Dense region loaded, then 3x that volume inserted into the same region:
+  // the finish threshold (§III-F: temporal-buffer inserts == old model size)
+  // is comfortably crossed.
+  constexpr Key kBulk = 15000;
+  std::vector<std::pair<Key, Value>> pairs;
+  for (Key k = 0; k < kBulk; ++k) pairs.emplace_back(k * 4, ValueFor(k * 4));
+  ASSERT_TRUE(index.BulkLoad(pairs).ok());
+  for (Key k = 0; k < kBulk; ++k) {
+    for (Key d = 1; d <= 3; ++d) {
+      ASSERT_TRUE(index.Insert(k * 4 + d, ValueFor(k * 4 + d))) << k;
+    }
+  }
+  const auto st = index.CollectStats();
+  EXPECT_GT(st.retrain_started, 0u) << "hot inserts must trigger expansion";
+  EXPECT_GT(st.retrain_finished, 0u) << "expansion must complete";
+  // Every key, old and new, remains reachable.
+  for (Key k = 0; k < kBulk * 4; ++k) {
+    Value v;
+    ASSERT_TRUE(index.Lookup(k, &v)) << k;
+    EXPECT_EQ(v, ValueFor(k));
+  }
+  EXPECT_EQ(index.Size(), kBulk * 4);
+}
+
+TEST_F(RetrainingTest, DisabledRetrainingNeverExpands) {
+  AltOptions opts;
+  opts.enable_retraining = false;
+  AltIndex index(opts);
+  std::vector<std::pair<Key, Value>> pairs;
+  for (Key k = 0; k < 5000; ++k) pairs.emplace_back(k * 2, k);
+  ASSERT_TRUE(index.BulkLoad(pairs).ok());
+  for (Key k = 0; k < 5000; ++k) ASSERT_TRUE(index.Insert(k * 2 + 1, k));
+  const auto st = index.CollectStats();
+  EXPECT_EQ(st.retrain_started, 0u);
+  for (Key k = 0; k < 10000; ++k) {
+    Value v;
+    ASSERT_TRUE(index.Lookup(k, &v)) << k;
+  }
+}
+
+// After an expansion finishes, the zero-error invariant must hold again:
+// ART keys whose new predicted slot is empty were written back (§III-F).
+TEST_F(RetrainingTest, InvariantRestoredAfterFinish) {
+  AltOptions opts;
+  opts.retrain_trigger_ratio = 0.5;
+  opts.gap_factor = 1.2;  // dense: provokes conflicts and write-backs
+  AltIndex index(opts);
+  constexpr Key kBulk = 10000;
+  std::vector<std::pair<Key, Value>> pairs;
+  for (Key k = 0; k < kBulk; ++k) pairs.emplace_back(k * 8, ValueFor(k * 8));
+  ASSERT_TRUE(index.BulkLoad(pairs).ok());
+  for (Key k = 0; k < kBulk; ++k) {
+    for (Key d = 2; d <= 6; d += 2) {
+      ASSERT_TRUE(index.Insert(k * 8 + d, ValueFor(k * 8 + d)));
+    }
+  }
+  const auto st = index.CollectStats();
+  ASSERT_GT(st.retrain_finished, 0u);
+  EXPECT_EQ(st.learned_layer_keys + st.art_keys, kBulk * 4);
+  for (Key k = 0; k < kBulk * 8; k += 2) {
+    Value v;
+    ASSERT_TRUE(index.Lookup(k, &v)) << k;
+    EXPECT_EQ(v, ValueFor(k));
+  }
+  // Absent keys still answer "not found" quickly post-retraining.
+  for (Key k = 1; k < kBulk * 8; k += 2) {
+    Value v;
+    EXPECT_FALSE(index.Lookup(k, &v)) << k;
+  }
+}
+
+TEST_F(RetrainingTest, TailModelAppendedWhenLastModelRetrains) {
+  AltOptions opts;
+  opts.retrain_trigger_ratio = 0.5;
+  AltIndex index(opts);
+  std::vector<std::pair<Key, Value>> pairs;
+  for (Key k = 0; k < 4000; ++k) pairs.emplace_back(1000 + k * 2, k);
+  ASSERT_TRUE(index.BulkLoad(pairs).ok());
+  const size_t models_before = index.CollectStats().num_models;
+  for (Key k = 0; k < 4000; ++k) {
+    ASSERT_TRUE(index.Insert(1000 + k * 2 + 1, k));
+  }
+  const auto st = index.CollectStats();
+  if (st.retrain_finished > 0) {
+    EXPECT_GE(st.num_models, models_before)
+        << "finishing the last model appends a tail model";
+  }
+  // Out-of-range inserts beyond the original max land correctly.
+  const Key beyond = 1000 + 4000 * 2 + 100;
+  for (Key k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(index.Insert(beyond + k * 3, k));
+  }
+  for (Key k = 0; k < 1000; ++k) {
+    Value v;
+    ASSERT_TRUE(index.Lookup(beyond + k * 3, &v)) << k;
+    EXPECT_EQ(v, k);
+  }
+}
+
+// Removes and updates racing an in-flight expansion must stay correct.
+TEST_F(RetrainingTest, MixedOpsDuringExpansionSingleThread) {
+  AltOptions opts;
+  opts.retrain_trigger_ratio = 0.25;
+  AltIndex index(opts);
+  std::vector<std::pair<Key, Value>> pairs;
+  for (Key k = 0; k < 8000; ++k) pairs.emplace_back(k * 3, ValueFor(k * 3));
+  ASSERT_TRUE(index.BulkLoad(pairs).ok());
+  // Interleave inserts (forcing expansions) with removes/updates/lookups.
+  for (Key k = 0; k < 8000; ++k) {
+    ASSERT_TRUE(index.Insert(k * 3 + 1, ValueFor(k * 3 + 1)));
+    if (k % 5 == 0) ASSERT_TRUE(index.Remove(k * 3));
+    if (k % 7 == 0) ASSERT_TRUE(index.Update(k * 3 + 1, 42));
+    Value v;
+    ASSERT_TRUE(index.Lookup(k * 3 + 1, &v));
+    EXPECT_EQ(v, k % 7 == 0 ? 42 : ValueFor(k * 3 + 1));
+  }
+  for (Key k = 0; k < 8000; ++k) {
+    Value v;
+    EXPECT_EQ(index.Lookup(k * 3, &v), k % 5 != 0) << k;
+  }
+}
+
+TEST_F(RetrainingTest, ConcurrentInsertersDuringExpansion) {
+  AltOptions opts;
+  opts.retrain_trigger_ratio = 0.25;
+  AltIndex index(opts);
+  std::vector<std::pair<Key, Value>> pairs;
+  constexpr Key kStride = 8;
+  constexpr Key kBulk = 20000;
+  for (Key k = 0; k < kBulk; ++k) pairs.emplace_back(k * kStride, ValueFor(k * kStride));
+  ASSERT_TRUE(index.BulkLoad(pairs).ok());
+
+  constexpr int kThreads = 4;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&index, &failed, t] {
+      // Thread t inserts keys congruent to t+1 (mod kStride).
+      for (Key k = 0; k < kBulk; ++k) {
+        const Key key = k * kStride + 1 + static_cast<Key>(t);
+        if (!index.Insert(key, ValueFor(key))) failed.store(true);
+      }
+    });
+  }
+  // A reader thread hammers the bulk keys throughout.
+  threads.emplace_back([&index, &failed] {
+    for (int round = 0; round < 3; ++round) {
+      for (Key k = 0; k < kBulk; k += 3) {
+        Value v;
+        if (!index.Lookup(k * kStride, &v) || v != ValueFor(k * kStride)) {
+          failed.store(true);
+        }
+      }
+    }
+  });
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(index.Size(), kBulk * (1 + kThreads));
+  // Full post-condition sweep.
+  for (Key k = 0; k < kBulk; ++k) {
+    for (int t = -1; t < kThreads; ++t) {
+      const Key key = k * kStride + (t < 0 ? 0 : 1 + static_cast<Key>(t));
+      Value v;
+      ASSERT_TRUE(index.Lookup(key, &v)) << "k=" << k << " t=" << t;
+      EXPECT_EQ(v, ValueFor(key));
+    }
+  }
+  const auto st = index.CollectStats();
+  EXPECT_GT(st.retrain_started, 0u);
+}
+
+}  // namespace
+}  // namespace alt
