@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_internals.dir/bench_fig10_internals.cc.o"
+  "CMakeFiles/bench_fig10_internals.dir/bench_fig10_internals.cc.o.d"
+  "bench_fig10_internals"
+  "bench_fig10_internals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_internals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_model_count.dir/bench_fig3_model_count.cc.o"
+  "CMakeFiles/bench_fig3_model_count.dir/bench_fig3_model_count.cc.o.d"
+  "bench_fig3_model_count"
+  "bench_fig3_model_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_model_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8b_hotwrite.dir/bench_fig8b_hotwrite.cc.o"
+  "CMakeFiles/bench_fig8b_hotwrite.dir/bench_fig8b_hotwrite.cc.o.d"
+  "bench_fig8b_hotwrite"
+  "bench_fig8b_hotwrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8b_hotwrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

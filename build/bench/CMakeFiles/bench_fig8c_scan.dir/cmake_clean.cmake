@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8c_scan.dir/bench_fig8c_scan.cc.o"
+  "CMakeFiles/bench_fig8c_scan.dir/bench_fig8c_scan.cc.o.d"
+  "bench_fig8c_scan"
+  "bench_fig8c_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8c_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8d_initsize.dir/bench_fig8d_initsize.cc.o"
+  "CMakeFiles/bench_fig8d_initsize.dir/bench_fig8d_initsize.cc.o.d"
+  "bench_fig8d_initsize"
+  "bench_fig8d_initsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8d_initsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

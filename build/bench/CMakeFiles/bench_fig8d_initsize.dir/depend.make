@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8d_initsize.
+# This may be replaced when dependencies are built.

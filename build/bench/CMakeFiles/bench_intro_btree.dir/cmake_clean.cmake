@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intro_btree.dir/bench_intro_btree.cc.o"
+  "CMakeFiles/bench_intro_btree.dir/bench_intro_btree.cc.o.d"
+  "bench_intro_btree"
+  "bench_intro_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intro_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

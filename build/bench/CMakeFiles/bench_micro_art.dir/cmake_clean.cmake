@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_art.dir/bench_micro_art.cc.o"
+  "CMakeFiles/bench_micro_art.dir/bench_micro_art.cc.o.d"
+  "bench_micro_art"
+  "bench_micro_art.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_art.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

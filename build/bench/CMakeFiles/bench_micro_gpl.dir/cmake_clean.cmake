@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_gpl.dir/bench_micro_gpl.cc.o"
+  "CMakeFiles/bench_micro_gpl.dir/bench_micro_gpl.cc.o.d"
+  "bench_micro_gpl"
+  "bench_micro_gpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_gpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

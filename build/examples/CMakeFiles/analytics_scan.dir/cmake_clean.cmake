@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_scan.dir/analytics_scan.cpp.o"
+  "CMakeFiles/analytics_scan.dir/analytics_scan.cpp.o.d"
+  "analytics_scan"
+  "analytics_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

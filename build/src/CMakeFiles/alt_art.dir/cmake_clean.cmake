@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_art.dir/art/art_tree.cc.o"
+  "CMakeFiles/alt_art.dir/art/art_tree.cc.o.d"
+  "libalt_art.a"
+  "libalt_art.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_art.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/alex_like.cc" "src/CMakeFiles/alt_baselines.dir/baselines/alex_like.cc.o" "gcc" "src/CMakeFiles/alt_baselines.dir/baselines/alex_like.cc.o.d"
+  "/root/repo/src/baselines/art_index.cc" "src/CMakeFiles/alt_baselines.dir/baselines/art_index.cc.o" "gcc" "src/CMakeFiles/alt_baselines.dir/baselines/art_index.cc.o.d"
+  "/root/repo/src/baselines/btree_index.cc" "src/CMakeFiles/alt_baselines.dir/baselines/btree_index.cc.o" "gcc" "src/CMakeFiles/alt_baselines.dir/baselines/btree_index.cc.o.d"
+  "/root/repo/src/baselines/factory.cc" "src/CMakeFiles/alt_baselines.dir/baselines/factory.cc.o" "gcc" "src/CMakeFiles/alt_baselines.dir/baselines/factory.cc.o.d"
+  "/root/repo/src/baselines/finedex_like.cc" "src/CMakeFiles/alt_baselines.dir/baselines/finedex_like.cc.o" "gcc" "src/CMakeFiles/alt_baselines.dir/baselines/finedex_like.cc.o.d"
+  "/root/repo/src/baselines/lipp_like.cc" "src/CMakeFiles/alt_baselines.dir/baselines/lipp_like.cc.o" "gcc" "src/CMakeFiles/alt_baselines.dir/baselines/lipp_like.cc.o.d"
+  "/root/repo/src/baselines/olc_btree.cc" "src/CMakeFiles/alt_baselines.dir/baselines/olc_btree.cc.o" "gcc" "src/CMakeFiles/alt_baselines.dir/baselines/olc_btree.cc.o.d"
+  "/root/repo/src/baselines/xindex_like.cc" "src/CMakeFiles/alt_baselines.dir/baselines/xindex_like.cc.o" "gcc" "src/CMakeFiles/alt_baselines.dir/baselines/xindex_like.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alt_art.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

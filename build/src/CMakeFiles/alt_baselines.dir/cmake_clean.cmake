@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_baselines.dir/baselines/alex_like.cc.o"
+  "CMakeFiles/alt_baselines.dir/baselines/alex_like.cc.o.d"
+  "CMakeFiles/alt_baselines.dir/baselines/art_index.cc.o"
+  "CMakeFiles/alt_baselines.dir/baselines/art_index.cc.o.d"
+  "CMakeFiles/alt_baselines.dir/baselines/btree_index.cc.o"
+  "CMakeFiles/alt_baselines.dir/baselines/btree_index.cc.o.d"
+  "CMakeFiles/alt_baselines.dir/baselines/factory.cc.o"
+  "CMakeFiles/alt_baselines.dir/baselines/factory.cc.o.d"
+  "CMakeFiles/alt_baselines.dir/baselines/finedex_like.cc.o"
+  "CMakeFiles/alt_baselines.dir/baselines/finedex_like.cc.o.d"
+  "CMakeFiles/alt_baselines.dir/baselines/lipp_like.cc.o"
+  "CMakeFiles/alt_baselines.dir/baselines/lipp_like.cc.o.d"
+  "CMakeFiles/alt_baselines.dir/baselines/olc_btree.cc.o"
+  "CMakeFiles/alt_baselines.dir/baselines/olc_btree.cc.o.d"
+  "CMakeFiles/alt_baselines.dir/baselines/xindex_like.cc.o"
+  "CMakeFiles/alt_baselines.dir/baselines/xindex_like.cc.o.d"
+  "libalt_baselines.a"
+  "libalt_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

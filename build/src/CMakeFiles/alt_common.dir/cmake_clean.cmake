@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_common.dir/common/latency_recorder.cc.o"
+  "CMakeFiles/alt_common.dir/common/latency_recorder.cc.o.d"
+  "CMakeFiles/alt_common.dir/common/random.cc.o"
+  "CMakeFiles/alt_common.dir/common/random.cc.o.d"
+  "CMakeFiles/alt_common.dir/common/zipf.cc.o"
+  "CMakeFiles/alt_common.dir/common/zipf.cc.o.d"
+  "libalt_common.a"
+  "libalt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alt_index.cc" "src/CMakeFiles/alt_core.dir/core/alt_index.cc.o" "gcc" "src/CMakeFiles/alt_core.dir/core/alt_index.cc.o.d"
+  "/root/repo/src/core/fast_pointer_buffer.cc" "src/CMakeFiles/alt_core.dir/core/fast_pointer_buffer.cc.o" "gcc" "src/CMakeFiles/alt_core.dir/core/fast_pointer_buffer.cc.o.d"
+  "/root/repo/src/core/gpl.cc" "src/CMakeFiles/alt_core.dir/core/gpl.cc.o" "gcc" "src/CMakeFiles/alt_core.dir/core/gpl.cc.o.d"
+  "/root/repo/src/core/gpl_model.cc" "src/CMakeFiles/alt_core.dir/core/gpl_model.cc.o" "gcc" "src/CMakeFiles/alt_core.dir/core/gpl_model.cc.o.d"
+  "/root/repo/src/core/model_directory.cc" "src/CMakeFiles/alt_core.dir/core/model_directory.cc.o" "gcc" "src/CMakeFiles/alt_core.dir/core/model_directory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alt_art.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_core.dir/core/alt_index.cc.o"
+  "CMakeFiles/alt_core.dir/core/alt_index.cc.o.d"
+  "CMakeFiles/alt_core.dir/core/fast_pointer_buffer.cc.o"
+  "CMakeFiles/alt_core.dir/core/fast_pointer_buffer.cc.o.d"
+  "CMakeFiles/alt_core.dir/core/gpl.cc.o"
+  "CMakeFiles/alt_core.dir/core/gpl.cc.o.d"
+  "CMakeFiles/alt_core.dir/core/gpl_model.cc.o"
+  "CMakeFiles/alt_core.dir/core/gpl_model.cc.o.d"
+  "CMakeFiles/alt_core.dir/core/model_directory.cc.o"
+  "CMakeFiles/alt_core.dir/core/model_directory.cc.o.d"
+  "libalt_core.a"
+  "libalt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datasets/dataset.cc" "src/CMakeFiles/alt_datasets.dir/datasets/dataset.cc.o" "gcc" "src/CMakeFiles/alt_datasets.dir/datasets/dataset.cc.o.d"
+  "/root/repo/src/datasets/sosd_loader.cc" "src/CMakeFiles/alt_datasets.dir/datasets/sosd_loader.cc.o" "gcc" "src/CMakeFiles/alt_datasets.dir/datasets/sosd_loader.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

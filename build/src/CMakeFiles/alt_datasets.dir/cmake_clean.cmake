@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_datasets.dir/datasets/dataset.cc.o"
+  "CMakeFiles/alt_datasets.dir/datasets/dataset.cc.o.d"
+  "CMakeFiles/alt_datasets.dir/datasets/sosd_loader.cc.o"
+  "CMakeFiles/alt_datasets.dir/datasets/sosd_loader.cc.o.d"
+  "libalt_datasets.a"
+  "libalt_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_workload.dir/workload/runner.cc.o"
+  "CMakeFiles/alt_workload.dir/workload/runner.cc.o.d"
+  "CMakeFiles/alt_workload.dir/workload/workload.cc.o"
+  "CMakeFiles/alt_workload.dir/workload/workload.cc.o.d"
+  "libalt_workload.a"
+  "libalt_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

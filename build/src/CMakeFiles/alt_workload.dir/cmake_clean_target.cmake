@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libalt_workload.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_index_test.dir/alt_index_test.cc.o"
+  "CMakeFiles/alt_index_test.dir/alt_index_test.cc.o.d"
+  "alt_index_test"
+  "alt_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/art_edge_test.dir/art_edge_test.cc.o"
+  "CMakeFiles/art_edge_test.dir/art_edge_test.cc.o.d"
+  "art_edge_test"
+  "art_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/art_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_pointer_test.dir/fast_pointer_test.cc.o"
+  "CMakeFiles/fast_pointer_test.dir/fast_pointer_test.cc.o.d"
+  "fast_pointer_test"
+  "fast_pointer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_pointer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

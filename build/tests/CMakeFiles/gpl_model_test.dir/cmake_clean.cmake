@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpl_model_test.dir/gpl_model_test.cc.o"
+  "CMakeFiles/gpl_model_test.dir/gpl_model_test.cc.o.d"
+  "gpl_model_test"
+  "gpl_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpl_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olc_btree_test.dir/olc_btree_test.cc.o"
+  "CMakeFiles/olc_btree_test.dir/olc_btree_test.cc.o.d"
+  "olc_btree_test"
+  "olc_btree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olc_btree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

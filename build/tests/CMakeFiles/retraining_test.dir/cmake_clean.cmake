@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retraining_test.dir/retraining_test.cc.o"
+  "CMakeFiles/retraining_test.dir/retraining_test.cc.o.d"
+  "retraining_test"
+  "retraining_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retraining_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

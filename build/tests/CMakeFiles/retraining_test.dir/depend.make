@@ -1,0 +1,2 @@
+# Empty dependencies file for retraining_test.
+# This may be replaced when dependencies are built.

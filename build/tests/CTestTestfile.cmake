@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;10;alt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(epoch_test "/root/repo/build/tests/epoch_test")
+set_tests_properties(epoch_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;alt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(gpl_test "/root/repo/build/tests/gpl_test")
+set_tests_properties(gpl_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;12;alt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(art_test "/root/repo/build/tests/art_test")
+set_tests_properties(art_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;13;alt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(gpl_model_test "/root/repo/build/tests/gpl_model_test")
+set_tests_properties(gpl_model_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;14;alt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(fast_pointer_test "/root/repo/build/tests/fast_pointer_test")
+set_tests_properties(fast_pointer_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;15;alt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(alt_index_test "/root/repo/build/tests/alt_index_test")
+set_tests_properties(alt_index_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;16;alt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(retraining_test "/root/repo/build/tests/retraining_test")
+set_tests_properties(retraining_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;17;alt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(baselines_test "/root/repo/build/tests/baselines_test")
+set_tests_properties(baselines_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;18;alt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(concurrency_test "/root/repo/build/tests/concurrency_test")
+set_tests_properties(concurrency_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;19;alt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(workload_test "/root/repo/build/tests/workload_test")
+set_tests_properties(workload_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;20;alt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(property_test "/root/repo/build/tests/property_test")
+set_tests_properties(property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;21;alt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(olc_btree_test "/root/repo/build/tests/olc_btree_test")
+set_tests_properties(olc_btree_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;22;alt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(art_edge_test "/root/repo/build/tests/art_edge_test")
+set_tests_properties(art_edge_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;23;alt_add_test;/root/repo/tests/CMakeLists.txt;0;")
