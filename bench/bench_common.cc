@@ -47,6 +47,9 @@ BenchConfig BenchConfig::Parse(int argc, char** argv) {
       cfg.zipf_theta = std::atof(next(i));
     } else if (!std::strcmp(a, "--scan-length")) {
       cfg.scan_length = std::strtoull(next(i), nullptr, 10);
+    } else if (!std::strcmp(a, "--read_batch") || !std::strcmp(a, "--read-batch")) {
+      cfg.read_batch = std::strtoull(next(i), nullptr, 10);
+      if (cfg.read_batch == 0) cfg.read_batch = 1;
     } else if (!std::strcmp(a, "--seed")) {
       cfg.seed = std::strtoull(next(i), nullptr, 10);
     } else if (!std::strcmp(a, "--dataset-file")) {
@@ -66,9 +69,9 @@ BenchConfig BenchConfig::Parse(int argc, char** argv) {
     } else if (!std::strcmp(a, "--help")) {
       std::printf(
           "flags: --keys N --threads T --ops N --bulk-fraction F "
-          "--zipf-theta F --scan-length N --seed N --datasets a,b "
-          "--indexes a,b --dataset-file PATH\nenv: ALT_BENCH_SCALE=K "
-          "multiplies --keys and --ops\n");
+          "--zipf-theta F --scan-length N --read_batch N --seed N "
+          "--datasets a,b --indexes a,b --dataset-file PATH\n"
+          "env: ALT_BENCH_SCALE=K multiplies --keys and --ops\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", a);
@@ -133,7 +136,10 @@ RunResult RunOne(const BenchConfig& cfg, const std::string& index_name,
   opts.scan_length = cfg.scan_length;
   opts.seed = cfg.seed;
   const auto streams = GenerateOpStreams(setup.loaded, setup.pool, cfg.threads, opts);
-  const RunResult r = RunWorkload(index.get(), streams, cfg.scan_length);
+  RunOptions run_opts;
+  run_opts.scan_length = cfg.scan_length;
+  run_opts.read_batch = cfg.read_batch;
+  const RunResult r = RunWorkload(index.get(), streams, run_opts);
   index.reset();
   EpochManager::Global().DrainAll();
   return r;

@@ -27,6 +27,9 @@ struct BenchConfig {
   double bulk_fraction = 0.5;
   double zipf_theta = 0.99;
   size_t scan_length = 100;
+  /// Consecutive reads coalesced into one LookupBatch call (`--read_batch N`).
+  /// 1 = scalar Lookup path (default, keeps historical numbers comparable).
+  size_t read_batch = 1;
   uint64_t seed = 42;
   std::vector<Dataset> datasets = PaperDatasets();
   std::vector<std::string> indexes = PaperIndexLineup();

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
     for (int variant = 0; variant < 2; ++variant) {
       AltOptions o;
       o.enable_fast_pointers = (variant == 0);
-      o.collect_art_stats = true;
+      o.enable_stats = true;
       AltIndex index(o);
       auto setup = SplitDataset(keys, cfg.bulk_fraction);
       std::vector<Value> vals(setup.loaded.size());

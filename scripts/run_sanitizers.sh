@@ -8,7 +8,7 @@ mode="${1:-asan}"
 
 run_asan() {
   cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
-    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -O1 -fno-omit-frame-pointer" \
+    -DALT_SANITIZE=address \
     -DALT_BUILD_BENCHMARKS=OFF -DALT_BUILD_EXAMPLES=OFF
   cmake --build build-asan
   ctest --test-dir build-asan --output-on-failure
@@ -16,14 +16,15 @@ run_asan() {
 
 run_tsan() {
   cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
-    -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -fno-omit-frame-pointer" \
+    -DALT_SANITIZE=thread \
     -DALT_BUILD_BENCHMARKS=OFF -DALT_BUILD_EXAMPLES=OFF
   cmake --build build-tsan
   # Focus on the concurrency-heavy binaries; the full suite is slow under TSan.
-  TSAN_OPTIONS="halt_on_error=0" ./build-tsan/tests/art_test
-  TSAN_OPTIONS="halt_on_error=0" ./build-tsan/tests/retraining_test
-  TSAN_OPTIONS="halt_on_error=0" ./build-tsan/tests/concurrency_test
-  TSAN_OPTIONS="halt_on_error=0" ./build-tsan/tests/olc_btree_test
+  TSAN_OPTIONS="halt_on_error=1 suppressions=$PWD/tsan.supp" ./build-tsan/tests/art_test
+  TSAN_OPTIONS="halt_on_error=1 suppressions=$PWD/tsan.supp" ./build-tsan/tests/retraining_test
+  TSAN_OPTIONS="halt_on_error=1 suppressions=$PWD/tsan.supp" ./build-tsan/tests/concurrency_test
+  TSAN_OPTIONS="halt_on_error=1 suppressions=$PWD/tsan.supp" ./build-tsan/tests/olc_btree_test
+  TSAN_OPTIONS="halt_on_error=1 suppressions=$PWD/tsan.supp" ./build-tsan/tests/lookup_batch_test
 }
 
 case "$mode" in

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/epoch.h"
+#include "common/prefetch.h"
 
 namespace alt {
 namespace art {
@@ -471,6 +472,74 @@ HintOutcome ArtTree::LookupFrom(Node* hint, Key key, Value* out, int* steps) con
     }
   }
   return HintOutcome::kNeedRoot;
+}
+
+// ---- Incremental descent (batched read path) -------------------------------
+
+bool ArtTree::DescentInit(Node* start, DescentState* s) const {
+  bool restart = false;
+  s->pending = nullptr;
+  s->node = start;
+  s->version = start->ReadLockOrRestart(&restart);
+  if (restart) return false;  // obsolete start (stale hint)
+  s->depth = start->match_level.load(std::memory_order_relaxed);
+  return true;
+}
+
+StepResult ArtTree::DescentStep(DescentState* s, Key key, Value* out, int* steps) const {
+  bool restart = false;
+
+  // Enter the child selected (and prefetched) by the previous step. This is
+  // the second half of the OLC lock coupling from LookupImpl: read-lock the
+  // child, then re-validate the parent version that produced the pointer.
+  if (s->pending != nullptr) {
+    Node* child = s->pending;
+    s->pending = nullptr;
+    if (IsLeaf(child)) {
+      const Leaf* leaf = ToLeaf(child);
+      if (leaf->key != key) return StepResult::kNotFound;
+      if (out != nullptr) *out = leaf->value.load(std::memory_order_acquire);
+      return StepResult::kFound;
+    }
+    uint64_t nv = child->ReadLockOrRestart(&restart);
+    if (restart) return StepResult::kRestart;
+    s->node->CheckOrRestart(s->version, &restart);
+    if (restart) return StepResult::kRestart;
+    s->node = child;
+    s->version = nv;
+    s->depth += 1;
+  }
+
+  // Process one node: compressed path, then child dispatch (LookupImpl's loop
+  // body, minus the immediate child dereference — that is next touch's work).
+  Node* node = s->node;
+  if (steps != nullptr) ++(*steps);
+  const int plen = node->prefix_len.load(std::memory_order_relaxed);
+  if (plen > 0) {
+    const uint64_t pword = node->prefix_word.load(std::memory_order_relaxed);
+    for (int i = 0; i < plen; ++i) {
+      if (Node::PrefixByte(pword, i) != KeyByte(key, s->depth + i)) {
+        node->CheckOrRestart(s->version, &restart);
+        return restart ? StepResult::kRestart : StepResult::kNotFound;
+      }
+    }
+    s->depth += plen;
+  }
+  assert(s->depth < kKeyBytes);
+  const uint8_t byte = KeyByte(key, s->depth);
+  Node* child = GetChild(node, byte);
+  node->CheckOrRestart(s->version, &restart);
+  if (restart) return StepResult::kRestart;
+  if (child == nullptr) return StepResult::kNotFound;
+  s->pending = child;
+  if (IsLeaf(child)) {
+    PrefetchRead(ToLeaf(child));
+  } else {
+    // Header + the front of the child arrays; Node48/256 child cells beyond
+    // the first lines cost at most one extra (in-cache-order) miss.
+    PrefetchReadRange(child, 2 * kCacheLineBytes);
+  }
+  return StepResult::kStepped;
 }
 
 // ---- Insert ----------------------------------------------------------------

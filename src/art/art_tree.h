@@ -42,6 +42,14 @@ enum class HintOutcome {
   kNeedRoot,  ///< hint unusable (obsolete / SMO required at hint) — retry from root
 };
 
+/// Outcome of one DescentStep (incremental lookup) touch.
+enum class StepResult : uint8_t {
+  kFound,     ///< leaf matched; *out was set
+  kNotFound,  ///< authoritative miss from this start node (see LookupFrom caveat)
+  kStepped,   ///< descended one level; the next node line is being prefetched
+  kRestart,   ///< version validation failed — re-DescentInit and retry
+};
+
 /// \brief Adaptive Radix Tree over fixed 8-byte keys with optimistic lock
 /// coupling, path compression, ordered scans, and the ART-OPT hooks ALT-index
 /// needs (`match_level`, fast-pointer callbacks, hint-based entry points).
@@ -68,6 +76,43 @@ class ArtTree {
   /// Lookup resuming at `hint` (depth = hint->match_level). The caller must
   /// have validated that `key` shares the hint entry's prefix.
   HintOutcome LookupFrom(Node* hint, Key key, Value* out, int* steps = nullptr) const;
+
+  /// \brief Resumable lookup cursor for the batched read path: one
+  /// DescentStep call performs one tree level of work (prefix match + child
+  /// dispatch under the node's optimistic version) and *prefetches* the next
+  /// node before returning, so a group of in-flight descents can overlap
+  /// their cache misses (AMAC-style software pipelining).
+  ///
+  /// Protocol:
+  ///   DescentState ds;
+  ///   if (!tree.DescentInit(start, &ds)) { /* start obsolete: pick new start */ }
+  ///   for (;;) switch (tree.DescentStep(&ds, key, &val, &steps)) {
+  ///     case StepResult::kStepped: /* touch other lookups, come back */ break;
+  ///     case StepResult::kRestart: /* DescentInit again (bounded) */ break;
+  ///     case ... kFound / kNotFound: done;
+  ///   }
+  ///
+  /// The step sequence validates exactly what the recursive LookupImpl
+  /// validates (same OLC read-lock coupling), so a kFound / kNotFound result
+  /// is identical to what Lookup / LookupFrom starting at the same node could
+  /// have returned. As with LookupFrom, a kNotFound from a hint start is not
+  /// authoritative under concurrent SMOs — the caller falls back to the root.
+  struct DescentState {
+    Node* node = nullptr;     ///< current node, read under `version`
+    uint64_t version = 0;     ///< optimistic read version of `node`
+    Node* pending = nullptr;  ///< prefetched child (possibly tagged leaf) not yet entered
+    int depth = 0;            ///< key bytes consumed on entry to `node`
+  };
+
+  /// Begin a descent at `start` (the root or a fast-pointer hint).
+  /// \return false if `start` is obsolete (hint went stale) — pick a new start.
+  bool DescentInit(Node* start, DescentState* s) const;
+
+  /// Advance the descent by one node. On kStepped the next node's cache lines
+  /// have been prefetched; process other keys before stepping again.
+  /// \param steps if non-null, incremented once per node visited (same
+  ///        accounting as Lookup's `steps`).
+  StepResult DescentStep(DescentState* s, Key key, Value* out, int* steps = nullptr) const;
 
   /// Insert; \return false if the key already exists (value left unchanged).
   bool Insert(Key key, Value value);

@@ -19,6 +19,9 @@ class AltIndexAdapter : public ConcurrentIndex {
     return index_->BulkLoad(keys, values, n);
   }
   bool Lookup(Key key, Value* out) override { return index_->Lookup(key, out); }
+  size_t LookupBatch(const Key* keys, size_t n, Value* out, bool* found) override {
+    return index_->LookupBatch(keys, n, out, found);
+  }
   bool Insert(Key key, Value value) override { return index_->Insert(key, value); }
   bool Update(Key key, Value value) override { return index_->Update(key, value); }
   bool Remove(Key key) override { return index_->Remove(key); }

@@ -29,6 +29,19 @@ class ConcurrentIndex {
   /// \return true and set *out if `key` is present.
   virtual bool Lookup(Key key, Value* out) = 0;
 
+  /// Batched point lookups: found[i] is set for every key, out[i] only when
+  /// found[i]. Indexes with a pipelined read path (ALT-index) override this;
+  /// the default is the scalar loop, so every index accepts batched reads.
+  /// \return the number of keys found.
+  virtual size_t LookupBatch(const Key* keys, size_t n, Value* out, bool* found) {
+    size_t hits = 0;
+    for (size_t i = 0; i < n; ++i) {
+      found[i] = Lookup(keys[i], &out[i]);
+      hits += found[i] ? 1 : 0;
+    }
+    return hits;
+  }
+
   /// \return false if the key already exists (no change).
   virtual bool Insert(Key key, Value value) = 0;
 

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace alt {
+
+/// Cache line size assumed for multi-line prefetches. 64 bytes covers x86 and
+/// most AArch64 parts; an over-estimate only costs an extra harmless prefetch.
+inline constexpr size_t kCacheLineBytes = 64;
+
+/// \brief Hint the prefetcher to pull the line holding `p` for reading.
+///
+/// Used by the batched read path (AMAC-style group prefetching): one lookup
+/// issues the prefetch for its next dependent line, then yields to the other
+/// in-flight lookups of the group so the miss is overlapped with useful work.
+inline void PrefetchRead(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+/// Prefetch `bytes` worth of lines starting at `p` (e.g. an ART node header
+/// plus its child array, or a GPL slot straddling a line boundary).
+inline void PrefetchReadRange(const void* p, size_t bytes) {
+  const auto addr = reinterpret_cast<uintptr_t>(p);
+  const uintptr_t first = addr & ~(kCacheLineBytes - 1);
+  const uintptr_t last = (addr + (bytes == 0 ? 0 : bytes - 1)) & ~(kCacheLineBytes - 1);
+  for (uintptr_t line = first; line <= last; line += kCacheLineBytes) {
+    PrefetchRead(reinterpret_cast<const void*>(line));
+  }
+}
+
+}  // namespace alt

@@ -172,7 +172,7 @@ AltIndex::Probe AltIndex::ProbeSlot(const GplModel* model, Key key, Value* out,
 
 bool AltIndex::ArtLookup(const GplModel* model, Key key, Value* out) const {
   int steps = 0;
-  int* steps_ptr = options_.collect_art_stats ? &steps : nullptr;
+  int* steps_ptr = options_.enable_stats ? &steps : nullptr;
   bool found = false;
   bool used_hint = false;
   const int32_t fpi = model->fp_index();
@@ -186,7 +186,7 @@ bool AltIndex::ArtLookup(const GplModel* model, Key key, Value* out) const {
       } else {
         // Miss within the hinted subtree is not authoritative under races
         // (an SMO may have momentarily moved the key above the hint).
-        if (options_.collect_art_stats) {
+        if (options_.enable_stats) {
           art_root_fallbacks_.fetch_add(1, std::memory_order_relaxed);
         }
         found = art_.Lookup(key, out, steps_ptr);
@@ -194,7 +194,7 @@ bool AltIndex::ArtLookup(const GplModel* model, Key key, Value* out) const {
     }
   }
   if (!used_hint) found = art_.Lookup(key, out, steps_ptr);
-  if (options_.collect_art_stats) {
+  if (options_.enable_stats) {
     art_lookups_.fetch_add(1, std::memory_order_relaxed);
     art_lookup_steps_.fetch_add(static_cast<uint64_t>(steps), std::memory_order_relaxed);
   }
@@ -237,7 +237,17 @@ bool AltIndex::LookupInternal(Key key, Value* out) const {
     Probe p = ProbeSlot(model, key, out, &slot, &word);
     if (p == Probe::kHit) return true;
 
-    if (p == Probe::kEmpty) {
+    if (slot == nullptr && exp != nullptr) {
+      // Coverage gap (§III-F): the temporal buffer spans slightly more key
+      // space than the old model (span grows by half a slot), so during an
+      // expansion a key beyond the old coverage may live in a temporal slot.
+      p = ProbeSlot(exp->new_model, key, out, &slot, &word);
+      if (p == Probe::kHit) return true;
+      if (p == Probe::kMigrated) continue;  // stale snapshot: re-route
+      if (p == Probe::kEmpty && exp->new_model->strict_empty()) return false;
+      // Otherwise fall through to ART with the temporal slot as the routed
+      // slot (or none if the key is beyond the temporal coverage too).
+    } else if (p == Probe::kEmpty) {
       if (exp == nullptr) {
         // Zero-error invariant: an EMPTY predicted slot proves absence —
         // unless the model's invariant is suspended (fresh tail model).
@@ -364,6 +374,17 @@ bool AltIndex::InsertInternal(Key key, Value value) {
         if (SlotWord::StateOf(lw) != SlotState::kEmpty) {
           s.word.Unlock(lw, SlotWord::StateOf(lw));
           continue;  // slot changed underneath; retry from the top
+        }
+        // Re-check the expansion under the slot lock: if one was installed
+        // since `exp` was read, a concurrent insert may already have placed a
+        // conflicting key in the temporal buffer while this slot was EMPTY.
+        // Occupying it now would shadow that key behind the occupied → ART
+        // route and strand it (lookups would never probe the buffer). The
+        // lock acquisition is an RMW, so any install visible to a writer
+        // that saw this slot EMPTY is visible to this load too.
+        if (model->expansion() != nullptr) {
+          s.word.Unlock(lw, SlotState::kEmpty);
+          continue;  // retry routes through InsertExpanding
         }
         s.key.store(key, std::memory_order_relaxed);
         s.value.store(value, std::memory_order_relaxed);
@@ -522,6 +543,14 @@ bool AltIndex::InsertIntoNewModel(GplModel* old_model, Expansion* exp, Key key,
           s.word.Unlock(lw, SlotWord::StateOf(lw));
           continue;
         }
+        // Same TOCTOU guard as the non-expanding insert: `nm` may have been
+        // published and started its own expansion, in which case this key
+        // must go through that expansion's routing, not occupy a slot here.
+        if (nm->expansion() != nullptr) {
+          s.word.Unlock(lw, SlotState::kEmpty);
+          *retry = true;
+          return false;
+        }
         s.key.store(key, std::memory_order_relaxed);
         s.value.store(value, std::memory_order_relaxed);
         s.word.Unlock(lw, SlotState::kOccupied);
@@ -586,6 +615,10 @@ bool AltIndex::UpdateInternal(Key key, Value value) {
     for (GplModel* t : targets) {
       if (t == nullptr || decided) continue;
       if (key >= t->coverage_end()) {
+        // Coverage gap (§III-F): the temporal buffer spans slightly more key
+        // space than the old model, so consult it before declaring ART the
+        // authoritative home.
+        if (t == model && exp != nullptr) continue;
         routed_slot = nullptr;  // no slot: ART is the authoritative home
         decided = true;
         continue;
@@ -666,6 +699,10 @@ bool AltIndex::RemoveInternal(Key key) {
     for (GplModel* t : targets) {
       if (t == nullptr || decided) continue;
       if (key >= t->coverage_end()) {
+        // Coverage gap (§III-F): the temporal buffer spans slightly more key
+        // space than the old model, so consult it before declaring ART the
+        // authoritative home.
+        if (t == model && exp != nullptr) continue;
         routed_slot = nullptr;  // no slot: ART is the authoritative home
         decided = true;
         continue;
@@ -803,17 +840,31 @@ void AltIndex::EnsureArtKeyVisible(Key key) {
   GplModel* model = snap->models[ModelDirectory::Locate(*snap, key)].load(
       std::memory_order_acquire);
   GplModel* t = model;
-  if (key >= t->coverage_end()) return;  // ART is authoritative here: visible
   Expansion* exp = t->expansion();
-  GplSlot* s = &t->slot(t->Predict(key));
-  uint32_t w = s->word.Read();
-  SlotState st = SlotWord::StateOf(w);
-  if (exp != nullptr && (st == SlotState::kMigrated || st == SlotState::kEmpty)) {
+  GplSlot* s = nullptr;
+  uint32_t w = 0;
+  SlotState st = SlotState::kEmpty;
+  if (key >= t->coverage_end()) {
+    // Out of the old model's coverage. With no expansion ART is authoritative
+    // (visible); with one, the temporal buffer's slightly wider coverage may
+    // make a slot the key's home (§III-F coverage gap).
+    if (exp == nullptr) return;
     t = exp->new_model;
     if (key >= t->coverage_end()) return;
     s = &t->slot(t->Predict(key));
     w = s->word.Read();
     st = SlotWord::StateOf(w);
+  } else {
+    s = &t->slot(t->Predict(key));
+    w = s->word.Read();
+    st = SlotWord::StateOf(w);
+    if (exp != nullptr && (st == SlotState::kMigrated || st == SlotState::kEmpty)) {
+      t = exp->new_model;
+      if (key >= t->coverage_end()) return;
+      s = &t->slot(t->Predict(key));
+      w = s->word.Read();
+      st = SlotWord::StateOf(w);
+    }
   }
   // Only an EMPTY slot can ever make the key unreachable. Attempt the
   // write-back even while the model's invariant is suspended: the sweep that
@@ -821,7 +872,10 @@ void AltIndex::EnsureArtKeyVisible(Key key) {
   // ART, so the inserter itself must make the key slot-visible.
   if (st != SlotState::kEmpty) return;
   const uint32_t lw = s->word.Lock();
-  if (SlotWord::StateOf(lw) == SlotState::kEmpty) {
+  // TOCTOU guard (see InsertInternal): if an expansion appeared on `t` since
+  // it was chosen, leave the key in ART — the suspended invariant keeps it
+  // reachable, and the finish sweep owns the write-back from here.
+  if (SlotWord::StateOf(lw) == SlotState::kEmpty && t->expansion() == nullptr) {
     Value moved = 0;
     if (art_.Remove(key, &moved)) {
       s->key.store(key, std::memory_order_relaxed);
@@ -962,6 +1016,13 @@ void AltIndex::AppendTailModelIfLast(const GplModel* published) {
   for (const auto& [k, unused_v] : strays) {
     GplSlot& s = tail->slot(tail->Predict(k));
     const uint32_t lw = s.word.Lock();
+    // TOCTOU guard (see InsertInternal): the tail is already published, so
+    // an insert storm could have started expanding it; its sweep owns the
+    // remaining write-backs then.
+    if (tail->expansion() != nullptr) {
+      s.word.Unlock(lw, SlotWord::StateOf(lw));
+      break;
+    }
     if (SlotWord::StateOf(lw) == SlotState::kEmpty) {
       Value moved = 0;
       if (art_.Remove(k, &moved)) {

@@ -57,6 +57,18 @@ class AltIndex {
   /// \return true and set *out if present.
   bool Lookup(Key key, Value* out) const;
 
+  /// \brief Batched point lookups: resolve `n` independent keys with their
+  /// cache misses overlapped (AMAC-style group prefetching; see
+  /// src/core/lookup_batch.cc and DESIGN.md "Batched read path").
+  ///
+  /// Semantically equivalent to calling Lookup(keys[i], &out[i]) for each i:
+  /// found[i] is set, and out[i] is written only when found[i] is true. Each
+  /// key's result is one a standalone Lookup could have returned at some point
+  /// during the call (per-key linearizability; no cross-key snapshot).
+  /// `keys` may contain duplicates and need not be sorted.
+  /// \return the number of keys found.
+  size_t LookupBatch(const Key* keys, size_t n, Value* out, bool* found) const;
+
   /// Insert a new key. \return false (no change) if the key already exists.
   bool Insert(Key key, Value value);
 
@@ -171,6 +183,13 @@ class AltIndex {
   bool ArtInsert(GplModel* model, Key key, Value value);
 
   bool LookupInternal(Key key, Value* out) const;
+
+  /// Batched read path internals (defined in lookup_batch.cc).
+  struct BatchCursor;
+  struct BatchStatsDelta;
+  /// Advance one in-flight lookup by one pipeline stage. \return true when
+  /// the cursor reached a terminal state (result written).
+  bool BatchStep(BatchCursor& c, Value* out, bool* found, BatchStatsDelta* st) const;
   bool InsertInternal(Key key, Value value);
   bool RemoveInternal(Key key);
   bool UpdateInternal(Key key, Value value);

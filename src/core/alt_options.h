@@ -44,9 +44,18 @@ struct AltOptions {
   int upper_radix_bits = 0;
 
   /// Count secondary-search traffic (lookups, node steps, root fallbacks) in
-  /// AltIndex::Stats. Adds two relaxed atomic increments per secondary
-  /// search; off by default to keep the hot path clean.
-  bool collect_art_stats = false;
+  /// AltIndex::Stats. Adds shared-atomic RMWs to the read path; off by
+  /// default so the hot path performs no shared-counter writes. CollectStats
+  /// reports zeros for these counters when disabled.
+  bool enable_stats = false;
+
+  /// In-flight lookups per group in LookupBatch (AMAC-style pipelining).
+  /// Values past the CPU's miss-level parallelism (~10-16 outstanding L1
+  /// misses) add bookkeeping without hiding more latency. Clamped to
+  /// [1, kMaxBatchGroupWidth].
+  uint32_t batch_group_width = 16;
+
+  static constexpr uint32_t kMaxBatchGroupWidth = 64;
 
   static constexpr double kMinErrorBound = 16.0;
 

@@ -7,6 +7,7 @@
 
 #include "art/art_tree.h"
 #include "common/key_codec.h"
+#include "common/prefetch.h"
 #include "common/spinlock.h"
 
 namespace alt {
@@ -47,6 +48,12 @@ class FastPointerBuffer : public art::ArtStructureListener {
 
   /// Current target of entry `slot` (lock-free read; see class comment).
   Ref Get(int32_t slot) const;
+
+  /// Batched read path stage hook: pull entry `slot`'s line ahead of Get so a
+  /// kGoArt outcome can resolve its fast pointer without stalling the group.
+  void PrefetchEntry(int32_t slot) const {
+    if (slot >= 0) PrefetchRead(&EntryAt(static_cast<size_t>(slot)));
+  }
 
   /// \return true iff `key` shares the entry's validated prefix, i.e. the
   /// hinted subtree is known to cover it.

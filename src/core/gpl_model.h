@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/key_codec.h"
+#include "common/prefetch.h"
 #include "common/spinlock.h"
 
 namespace alt {
@@ -146,6 +147,10 @@ class GplModel {
 
   GplSlot& slot(uint32_t i) { return slots_[i]; }
   const GplSlot& slot(uint32_t i) const { return slots_[i]; }
+
+  /// Batched read path stage hook: pull slot `i`'s lines (word + key + value
+  /// straddle a cache-line boundary for odd slots) before it is probed.
+  void PrefetchSlot(uint32_t i) const { PrefetchReadRange(&slots_[i], sizeof(GplSlot)); }
 
   /// Fast-pointer-buffer entry index for this model's key range (§III-C).
   int32_t fp_index() const { return fp_index_.load(std::memory_order_acquire); }

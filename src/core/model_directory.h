@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/key_codec.h"
+#include "common/prefetch.h"
 #include "common/spinlock.h"
 #include "core/gpl_model.h"
 
@@ -51,6 +52,25 @@ class ModelDirectory {
 
   /// Current snapshot; caller must hold an EpochGuard.
   const Snapshot* snapshot() const { return snapshot_.load(std::memory_order_acquire); }
+
+  /// Batched read path stage hook: pull the first-key segment Locate will
+  /// binary-search for `key` (the radix bucket when present, else the middle
+  /// of the full window) so the upper-model search does not stall the group.
+  static void PrefetchLocate(const Snapshot& s, Key key) {
+    size_t lo = 0, hi = s.first_keys.size();
+    if (s.radix_bits > 0) {
+      const size_t r = static_cast<size_t>(key >> (64 - s.radix_bits));
+      PrefetchRead(&s.radix[r]);
+      lo = s.radix[r];
+      hi = s.radix[r + 1];
+    }
+    if (lo < hi) {
+      PrefetchRead(&s.first_keys[lo + (hi - lo) / 2]);
+      // The model-pointer cell is read right after the search resolves; its
+      // array parallels first_keys, so the same midpoint is the best guess.
+      PrefetchRead(&s.models[lo + (hi - lo) / 2]);
+    }
+  }
 
   /// Index of the model responsible for `key`: the last model whose first_key
   /// <= key (clamped to 0 for under-range keys).

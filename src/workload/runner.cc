@@ -1,6 +1,7 @@
 #include "workload/runner.h"
 
 #include <atomic>
+#include <memory>
 #include <thread>
 
 #include "common/latency_recorder.h"
@@ -12,8 +13,10 @@ namespace alt {
 
 RunResult RunWorkload(ConcurrentIndex* index,
                       const std::vector<std::vector<Op>>& streams,
-                      size_t scan_length) {
+                      const RunOptions& options) {
   const int num_threads = static_cast<int>(streams.size());
+  const size_t scan_length = options.scan_length;
+  const size_t read_batch = options.read_batch > 0 ? options.read_batch : 1;
   std::vector<LatencyHistogram> hists(static_cast<size_t>(num_threads));
   std::vector<uint64_t> fails(static_cast<size_t>(num_threads), 0);
   std::atomic<int> ready{0};
@@ -24,10 +27,35 @@ RunResult RunWorkload(ConcurrentIndex* index,
     LatencyHistogram& hist = hists[static_cast<size_t>(tid)];
     uint64_t failed = 0;
     std::vector<std::pair<Key, Value>> scan_buf;
+    // Read-coalescing buffers (read_batch > 1): consecutive kRead ops are
+    // collected here and resolved with one LookupBatch call.
+    std::vector<Key> batch_keys(read_batch);
+    std::vector<Value> batch_vals(read_batch);
+    std::unique_ptr<bool[]> batch_found(new bool[read_batch]);
+    size_t pending = 0;
+    uint32_t tick = 0;
+    auto flush_reads = [&] {
+      if (pending == 0) return;
+      const bool sample = (tick++ & 15u) == 0;
+      const uint64_t t0 = sample ? NowNanos() : 0;
+      const size_t hits =
+          index->LookupBatch(batch_keys.data(), pending, batch_vals.data(),
+                             batch_found.get());
+      failed += pending - hits;
+      if (sample) hist.Record((NowNanos() - t0) / pending);
+      pending = 0;
+    };
     ready.fetch_add(1, std::memory_order_acq_rel);
     while (!go.load(std::memory_order_acquire)) CpuRelax();
-    uint32_t tick = 0;
     for (const Op& op : stream) {
+      if (read_batch > 1) {
+        if (op.type == OpType::kRead) {
+          batch_keys[pending++] = op.key;
+          if (pending == read_batch) flush_reads();
+          continue;
+        }
+        flush_reads();  // a non-read op breaks the run of coalescible reads
+      }
       const bool sample = (tick++ & 15u) == 0;
       const uint64_t t0 = sample ? NowNanos() : 0;
       bool ok = true;
@@ -53,6 +81,7 @@ RunResult RunWorkload(ConcurrentIndex* index,
       if (!ok) ++failed;
       if (sample) hist.Record(NowNanos() - t0);
     }
+    if (read_batch > 1) flush_reads();
     fails[static_cast<size_t>(tid)] = failed;
   };
 
@@ -81,6 +110,14 @@ RunResult RunWorkload(ConcurrentIndex* index,
   r.p999_ns = merged.Percentile(0.999);
   r.mean_ns = merged.MeanNs();
   return r;
+}
+
+RunResult RunWorkload(ConcurrentIndex* index,
+                      const std::vector<std::vector<Op>>& streams,
+                      size_t scan_length) {
+  RunOptions options;
+  options.scan_length = scan_length;
+  return RunWorkload(index, streams, options);
 }
 
 BenchSetup SplitDataset(const std::vector<Key>& keys, double bulk_fraction) {

@@ -20,11 +20,24 @@ struct RunResult {
   uint64_t failed_ops = 0;  ///< reads that missed / duplicate inserts
 };
 
+/// Execution knobs for RunWorkload.
+struct RunOptions {
+  size_t scan_length = 100;
+  /// Reads per LookupBatch call: each worker coalesces up to this many
+  /// *consecutive* kRead ops and issues them through the index's batched read
+  /// path. 1 (default) keeps the scalar Lookup path, so existing benchmark
+  /// numbers stay comparable. A sampled batch records its mean per-op latency.
+  size_t read_batch = 1;
+};
+
 /// \brief Execute pre-generated per-thread op streams against `index` with
 /// one thread per stream and return throughput + tail latency (sampled 1/16).
 ///
 /// Threads start together behind a barrier; the wall clock covers the slowest
 /// thread, matching how the paper reports Mops/s for T threads.
+RunResult RunWorkload(ConcurrentIndex* index,
+                      const std::vector<std::vector<Op>>& streams,
+                      const RunOptions& options);
 RunResult RunWorkload(ConcurrentIndex* index,
                       const std::vector<std::vector<Op>>& streams,
                       size_t scan_length = 100);

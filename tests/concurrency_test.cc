@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <string>
@@ -168,6 +169,103 @@ TEST_P(ConcurrentIndexTest, ScansRemainSortedUnderChurn) {
   scanner.join();
   EXPECT_FALSE(failed.load()) << index->Name();
   (void)half;
+}
+
+TEST_P(ConcurrentIndexTest, BatchedReadsAgainstChurn) {
+  // LookupBatch linearizability under write traffic: stable keys (never
+  // removed, values flipped between two legal states) must always be found
+  // with a legal value; churn keys (inserted/removed in cycles, plus enough
+  // volume to drive alt's expansion path) may come back either way, but a hit
+  // must carry the key's one legal value — never torn, never stale-freed.
+  auto index = MakeIndex(GetParam());
+  auto keys = GenerateKeys(Dataset::kFb, 40000, 13);
+  std::vector<Key> stable, churn;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    (i & 1 ? churn : stable).push_back(keys[i]);
+  }
+  std::vector<Value> vals(stable.size());
+  for (size_t i = 0; i < stable.size(); ++i) vals[i] = stable[i] * 2;
+  ASSERT_TRUE(index->BulkLoad(stable.data(), vals.data(), stable.size()).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> writer_failures{0};
+  std::atomic<int> stable_misses{0};
+  std::atomic<int> bad_stable_values{0};
+  std::atomic<int> bad_churn_values{0};
+  std::vector<std::thread> threads;
+  // Two writers cycle insert/remove over disjoint churn shards.
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      while (!stop.load(std::memory_order_acquire)) {
+        for (size_t i = static_cast<size_t>(t); i < churn.size(); i += 2) {
+          if (!index->Insert(churn[i], ValueFor(churn[i]))) ++writer_failures;
+        }
+        for (size_t i = static_cast<size_t>(t); i < churn.size(); i += 2) {
+          if (!index->Remove(churn[i])) ++writer_failures;
+          if (stop.load(std::memory_order_acquire)) break;
+        }
+      }
+    });
+  }
+  // One updater flips stable values between the two legal states.
+  threads.emplace_back([&] {
+    Rng rng(77);
+    while (!stop.load(std::memory_order_acquire)) {
+      const Key k = stable[rng.NextBounded(stable.size())];
+      index->Update(k, k * 2 + (rng.Next() & 1 ? 100 : 0));
+    }
+  });
+  // Four readers issue mixed batches through the batched path.
+  constexpr size_t kWidth = 32;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(301 + t);
+      Key batch[kWidth];
+      Value out[kWidth];
+      bool found[kWidth];
+      for (int iter = 0; iter < 2000; ++iter) {
+        for (size_t i = 0; i < kWidth; ++i) {
+          batch[i] = (rng.Next() & 1) ? stable[rng.NextBounded(stable.size())]
+                                      : churn[rng.NextBounded(churn.size())];
+        }
+        index->LookupBatch(batch, kWidth, out, found);
+        for (size_t i = 0; i < kWidth; ++i) {
+          const Key k = batch[i];
+          const bool is_stable =
+              std::binary_search(stable.begin(), stable.end(), k);
+          if (is_stable) {
+            if (!found[i]) {
+              ++stable_misses;
+            } else if (out[i] != k * 2 && out[i] != k * 2 + 100) {
+              ++bad_stable_values;
+            }
+          } else if (found[i] && out[i] != ValueFor(k)) {
+            ++bad_churn_values;
+          }
+        }
+      }
+    });
+  }
+  // Join readers first (they bound the test), then stop the write traffic.
+  for (size_t t = 3; t < threads.size(); ++t) threads[t].join();
+  stop.store(true, std::memory_order_release);
+  for (size_t t = 0; t < 3; ++t) threads[t].join();
+  EXPECT_EQ(writer_failures.load(), 0) << index->Name();
+  EXPECT_EQ(stable_misses.load(), 0) << index->Name();
+  EXPECT_EQ(bad_stable_values.load(), 0) << index->Name();
+  EXPECT_EQ(bad_churn_values.load(), 0) << index->Name();
+
+  // Final single-threaded sweep: batch results match scalar on the quiesced
+  // index.
+  std::vector<Value> out(keys.size());
+  std::unique_ptr<bool[]> found(new bool[keys.size()]);
+  index->LookupBatch(keys.data(), keys.size(), out.data(), found.get());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    Value v;
+    const bool scalar = index->Lookup(keys[i], &v);
+    ASSERT_EQ(found[i], scalar) << index->Name() << " key " << keys[i];
+    if (scalar) EXPECT_EQ(out[i], v);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllIndexes, ConcurrentIndexTest,

@@ -110,7 +110,7 @@ TEST_F(FastPointerTest, PrefixSplitCallbackLiftsEntry) {
 
 TEST_F(FastPointerTest, EndToEndHintedLookupsThroughAltIndex) {
   AltOptions opts;
-  opts.collect_art_stats = true;
+  opts.enable_stats = true;
   AltIndex index(opts);
   auto keys = GenerateKeys(Dataset::kFb, 50000, 3);
   std::vector<Value> values(keys.size());
@@ -141,7 +141,7 @@ TEST_F(FastPointerTest, HintShortensArtTraversals) {
   auto run = [&](bool fast_pointers) {
     AltOptions opts;
     opts.enable_fast_pointers = fast_pointers;
-    opts.collect_art_stats = true;
+    opts.enable_stats = true;
     AltIndex index(opts);
     EXPECT_TRUE(index.BulkLoad(keys.data(), values.data(), keys.size()).ok());
     Value v;
