@@ -1,35 +1,55 @@
 #!/usr/bin/env bash
-# Build and run the test suite under AddressSanitizer+UBSan and (optionally)
-# ThreadSanitizer. Usage: scripts/run_sanitizers.sh [asan|tsan|all]
+# Build and run the test suite under the sanitizer matrix, mirroring the CI
+# jobs in .github/workflows/ci.yml (see DESIGN.md "Locking protocol" for what
+# each leg is expected to catch).
+#
+# Usage: scripts/run_sanitizers.sh [asan|ubsan|tsan|all]
+#   asan   ASan+UBSan combined, debug checkers on, full ctest  (CI: address-undefined-sanitizer)
+#   ubsan  UBSan alone, full ctest                             (CI: undefined-sanitizer)
+#   tsan   TSan over the concurrency-heavy binaries            (CI: thread-sanitizer)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-mode="${1:-asan}"
+mode="${1:-all}"
+
+gen=()
+command -v ninja >/dev/null 2>&1 && gen=(-G Ninja)
 
 run_asan() {
-  cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
-    -DALT_SANITIZE=address \
+  cmake -B build-asan "${gen[@]}" -DCMAKE_BUILD_TYPE=Debug \
+    -DALT_SANITIZE="address;undefined" -DALT_DEBUG_CHECKS=ON \
     -DALT_BUILD_BENCHMARKS=OFF -DALT_BUILD_EXAMPLES=OFF
-  cmake --build build-asan
-  ctest --test-dir build-asan --output-on-failure
+  cmake --build build-asan -j
+  ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
+    ctest --test-dir build-asan --output-on-failure -j 4
+}
+
+run_ubsan() {
+  cmake -B build-ubsan "${gen[@]}" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DALT_SANITIZE=undefined \
+    -DALT_BUILD_BENCHMARKS=OFF -DALT_BUILD_EXAMPLES=OFF
+  cmake --build build-ubsan -j
+  ctest --test-dir build-ubsan --output-on-failure -j 4
 }
 
 run_tsan() {
-  cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
+  cmake -B build-tsan "${gen[@]}" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DALT_SANITIZE=thread \
     -DALT_BUILD_BENCHMARKS=OFF -DALT_BUILD_EXAMPLES=OFF
-  cmake --build build-tsan
+  cmake --build build-tsan -j
   # Focus on the concurrency-heavy binaries; the full suite is slow under TSan.
-  TSAN_OPTIONS="halt_on_error=1 suppressions=$PWD/tsan.supp" ./build-tsan/tests/art_test
-  TSAN_OPTIONS="halt_on_error=1 suppressions=$PWD/tsan.supp" ./build-tsan/tests/retraining_test
-  TSAN_OPTIONS="halt_on_error=1 suppressions=$PWD/tsan.supp" ./build-tsan/tests/concurrency_test
-  TSAN_OPTIONS="halt_on_error=1 suppressions=$PWD/tsan.supp" ./build-tsan/tests/olc_btree_test
-  TSAN_OPTIONS="halt_on_error=1 suppressions=$PWD/tsan.supp" ./build-tsan/tests/lookup_batch_test
+  # tsan.supp covers only OlcBTree's by-design optimistic reads.
+  local t
+  for t in art_test retraining_test concurrency_test olc_btree_test lookup_batch_test; do
+    TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 suppressions=$PWD/tsan.supp" \
+      "./build-tsan/tests/$t"
+  done
 }
 
 case "$mode" in
   asan) run_asan ;;
+  ubsan) run_ubsan ;;
   tsan) run_tsan ;;
-  all) run_asan; run_tsan ;;
-  *) echo "usage: $0 [asan|tsan|all]" >&2; exit 2 ;;
+  all) run_asan; run_ubsan; run_tsan ;;
+  *) echo "usage: $0 [asan|ubsan|tsan|all]" >&2; exit 2 ;;
 esac

@@ -4,8 +4,10 @@
 #include <cstdint>
 #include <cstring>
 
+#include "common/debug_checks.h"
 #include "common/key_codec.h"
 #include "common/spinlock.h"
+#include "common/thread_annotations.h"
 
 namespace alt {
 namespace art {
@@ -53,7 +55,14 @@ inline Node* TagLeaf(Leaf* l) {
 ///    (-1 if none), so structure-modification callbacks are O(1).
 ///  - the compressed path is packed into one atomic word (`prefix_word`,
 ///    big-endian byte order) so prefix updates during splits are race-free.
-struct Node {
+///
+/// Each node is a clang thread-safety capability: the exclusive side is the
+/// version word's write lock. Acquisition happens only through the conditional
+/// UpgradeToWriteLockOrRestart (invisible to the static analysis), so the OLC
+/// write paths in art_tree.cc are ALT_OPTIMISTIC_PATH escapes; the unlock
+/// protocol is still enforced dynamically under ALT_DEBUG_CHECKS
+/// (unlock-without-lock, double-upgrade, read-while-write-held).
+struct CAPABILITY("art node lock") Node {
   std::atomic<uint64_t> version{0};
   std::atomic<uint64_t> prefix_word{0};
   const NodeType type;
@@ -88,11 +97,24 @@ struct Node {
 
   // ---- optimistic lock coupling -------------------------------------------
 
+  /// Construct-time lock: a freshly allocated node is created write-locked so
+  /// it cannot be modified between publication and the creator's unlock. Not
+  /// an ACQUIRE for the static analysis — the creator is always inside an
+  /// ALT_OPTIMISTIC_PATH write path that releases it.
+  void InitLocked() {
+    version.store(2u, std::memory_order_relaxed);
+    ALT_DEBUG_NOTE_ACQUIRED(this, "art-node");
+  }
+
   static bool IsLocked(uint64_t v) { return (v & 2u) != 0; }
   static bool IsObsolete(uint64_t v) { return (v & 1u) != 0; }
 
   /// Spin until unlocked; \return version, or set *need_restart on obsolete.
   uint64_t ReadLockOrRestart(bool* need_restart) const {
+    // A thread that write-holds this node would spin forever here.
+    ALT_DEBUG_CHECK(!::alt::debug::LockHeldByThisThread(this), "art-node",
+                    "ReadLockOrRestart while this thread write-holds the node",
+                    this);
     uint64_t v = version.load(std::memory_order_acquire);
     while (IsLocked(v)) {
       CpuRelax();
@@ -110,19 +132,32 @@ struct Node {
   }
 
   /// Try to atomically upgrade the optimistic read at `v` to a write lock.
+  /// Out-parameter acquisition is invisible to the static analysis; callers
+  /// are ALT_OPTIMISTIC_PATH.
   void UpgradeToWriteLockOrRestart(uint64_t& v, bool* need_restart) {
     if (!version.compare_exchange_strong(v, v + 2, std::memory_order_acquire)) {
       *need_restart = true;
     } else {
       v += 2;
+      ALT_DEBUG_NOTE_ACQUIRED(this, "art-node");
     }
   }
 
-  void WriteUnlock() { version.fetch_add(2, std::memory_order_release); }
+  void WriteUnlock() RELEASE() {
+    ALT_DEBUG_NOTE_RELEASED(this, "art-node");
+    ALT_DEBUG_CHECK(IsLocked(version.load(std::memory_order_relaxed)), "art-node",
+                    "WriteUnlock of a node that is not write-locked", this);
+    version.fetch_add(2, std::memory_order_release);
+  }
 
   /// Unlock and mark obsolete in one step; readers holding old versions will
   /// restart, and the memory is reclaimed via the epoch manager.
-  void WriteUnlockObsolete() { version.fetch_add(3, std::memory_order_release); }
+  void WriteUnlockObsolete() RELEASE() {
+    ALT_DEBUG_NOTE_RELEASED(this, "art-node");
+    ALT_DEBUG_CHECK(IsLocked(version.load(std::memory_order_relaxed)), "art-node",
+                    "WriteUnlockObsolete of a node that is not write-locked", this);
+    version.fetch_add(3, std::memory_order_release);
+  }
 };
 
 /// Fanout-4 node: parallel sorted key/child arrays.

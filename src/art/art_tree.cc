@@ -11,7 +11,6 @@ namespace art {
 
 namespace {
 
-constexpr uint64_t kLockedBit = 2;
 
 // ---------------------------------------------------------------------------
 // Node helpers. All mutating helpers require the caller to hold the node's
@@ -326,7 +325,7 @@ Node* Grow(Node* n) {
     case NodeType::kNode48: bigger = new Node256(); break;
     case NodeType::kNode256: assert(false && "Node256 cannot grow"); return nullptr;
   }
-  bigger->version.store(kLockedBit, std::memory_order_relaxed);
+  bigger->InitLocked();
   CopyHeader(bigger, n);
   for (int i = 0; i < cnt; ++i) AddChild(bigger, bytes[i], children[i]);
   return bigger;
@@ -345,7 +344,7 @@ Node* ShrinkWithout(Node* n, uint8_t skip_byte) {
     case NodeType::kNode256: smaller = new Node48(); break;
     case NodeType::kNode4: assert(false && "Node4 cannot shrink"); return nullptr;
   }
-  smaller->version.store(kLockedBit, std::memory_order_relaxed);
+  smaller->InitLocked();
   CopyHeader(smaller, n);
   for (int i = 0; i < cnt; ++i) {
     if (bytes[i] == skip_byte) continue;
@@ -454,6 +453,7 @@ ArtTree::OpResult ArtTree::LookupImpl(Node* start, Key key, Value* out, int* ste
 }
 
 bool ArtTree::Lookup(Key key, Value* out, int* steps) const {
+  ALT_ASSERT_EPOCH_PINNED("ArtTree::Lookup");
   for (;;) {
     OpResult r = LookupImpl(root_, key, out, steps);
     if (r == OpResult::kDone) return true;
@@ -462,6 +462,7 @@ bool ArtTree::Lookup(Key key, Value* out, int* steps) const {
 }
 
 HintOutcome ArtTree::LookupFrom(Node* hint, Key key, Value* out, int* steps) const {
+  ALT_ASSERT_EPOCH_PINNED("ArtTree::LookupFrom");
   for (int attempt = 0; attempt < 64; ++attempt) {
     OpResult r = LookupImpl(hint, key, out, steps);
     switch (r) {
@@ -477,6 +478,7 @@ HintOutcome ArtTree::LookupFrom(Node* hint, Key key, Value* out, int* steps) con
 // ---- Incremental descent (batched read path) -------------------------------
 
 bool ArtTree::DescentInit(Node* start, DescentState* s) const {
+  ALT_ASSERT_EPOCH_PINNED("ArtTree::DescentInit");
   bool restart = false;
   s->pending = nullptr;
   s->node = start;
@@ -487,6 +489,7 @@ bool ArtTree::DescentInit(Node* start, DescentState* s) const {
 }
 
 StepResult ArtTree::DescentStep(DescentState* s, Key key, Value* out, int* steps) const {
+  ALT_ASSERT_EPOCH_PINNED("ArtTree::DescentStep");
   bool restart = false;
 
   // Enter the child selected (and prefetched) by the previous step. This is
@@ -545,7 +548,8 @@ StepResult ArtTree::DescentStep(DescentState* s, Key key, Value* out, int* steps
 // ---- Insert ----------------------------------------------------------------
 
 ArtTree::OpResult ArtTree::InsertImpl(Node* start, Node* start_parent,
-                                      uint8_t start_parent_byte, Key key, Value value) {
+                                      uint8_t start_parent_byte, Key key,
+                                      Value value) ALT_OPTIMISTIC_PATH {
   bool restart = false;
   Node* parent = start_parent;
   uint64_t pv = 0;
@@ -581,7 +585,7 @@ ArtTree::OpResult ArtTree::InsertImpl(Node* start, Node* start_parent,
           return OpResult::kRestart;
         }
         auto* np = new Node4();
-        np->version.store(kLockedBit, std::memory_order_relaxed);
+        np->InitLocked();
         np->prefix_word.store(pword, std::memory_order_relaxed);
         np->prefix_len.store(static_cast<uint8_t>(cpl), std::memory_order_relaxed);
         np->match_level.store(static_cast<uint8_t>(depth), std::memory_order_relaxed);
@@ -695,6 +699,7 @@ ArtTree::OpResult ArtTree::InsertImpl(Node* start, Node* start_parent,
 }
 
 bool ArtTree::Insert(Key key, Value value) {
+  ALT_ASSERT_EPOCH_PINNED("ArtTree::Insert");
   for (;;) {
     OpResult r = InsertImpl(root_, nullptr, 0, key, value);
     if (r == OpResult::kDone) return true;
@@ -703,6 +708,7 @@ bool ArtTree::Insert(Key key, Value value) {
 }
 
 HintOutcome ArtTree::InsertFrom(Node* hint, Key key, Value value) {
+  ALT_ASSERT_EPOCH_PINNED("ArtTree::InsertFrom");
   for (int attempt = 0; attempt < 64; ++attempt) {
     OpResult r = InsertImpl(hint, nullptr, 0, key, value);
     switch (r) {
@@ -716,6 +722,7 @@ HintOutcome ArtTree::InsertFrom(Node* hint, Key key, Value value) {
 }
 
 bool ArtTree::Update(Key key, Value value) {
+  ALT_ASSERT_EPOCH_PINNED("ArtTree::Update");
   for (;;) {
     bool restart = false;
     Node* node = root_;
@@ -769,7 +776,7 @@ bool ArtTree::Update(Key key, Value value) {
 
 // ---- Remove ----------------------------------------------------------------
 
-ArtTree::OpResult ArtTree::RemoveImpl(Key key, Value* old_value) {
+ArtTree::OpResult ArtTree::RemoveImpl(Key key, Value* old_value) ALT_OPTIMISTIC_PATH {
   bool restart = false;
   Node* parent = nullptr;
   uint64_t pv = 0;
@@ -849,6 +856,7 @@ ArtTree::OpResult ArtTree::RemoveImpl(Key key, Value* old_value) {
             }
             CpuRelax();
           }
+          ALT_DEBUG_NOTE_ACQUIRED(sibling, "art-node");
           const int nplen = node->prefix_len.load(std::memory_order_relaxed);
           const uint64_t npword = node->prefix_word.load(std::memory_order_relaxed);
           const int splen = sibling->prefix_len.load(std::memory_order_relaxed);
@@ -928,6 +936,7 @@ ArtTree::OpResult ArtTree::RemoveImpl(Key key, Value* old_value) {
 }
 
 bool ArtTree::Remove(Key key, Value* old_value) {
+  ALT_ASSERT_EPOCH_PINNED("ArtTree::Remove");
   for (;;) {
     OpResult r = RemoveImpl(key, old_value);
     if (r == OpResult::kDone) return true;
@@ -1004,6 +1013,7 @@ bool ArtTree::ScanCollect(const Node* node, Key acc, Key lo, Key hi, size_t max_
 
 size_t ArtTree::Scan(Key lo, size_t max_items,
                      std::vector<std::pair<Key, Value>>* out) const {
+  ALT_ASSERT_EPOCH_PINNED("ArtTree::Scan");
   if (max_items == 0) return 0;
   for (;;) {
     out->clear();
@@ -1019,6 +1029,7 @@ size_t ArtTree::Scan(Key lo, size_t max_items,
 }
 
 size_t ArtTree::RangeQuery(Key lo, Key hi, std::vector<std::pair<Key, Value>>* out) const {
+  ALT_ASSERT_EPOCH_PINNED("ArtTree::RangeQuery");
   for (;;) {
     out->clear();
     int restarts = 0;

@@ -161,9 +161,13 @@ class ArtTree {
   enum class OpResult { kDone, kRestart, kExists, kNotFound, kNeedRoot };
 
   OpResult LookupImpl(Node* start, Key key, Value* out, int* steps) const;
+  // The two OLC write paths acquire node locks via conditional upgrades
+  // (UpgradeToWriteLockOrRestart) that the static analysis cannot model —
+  // documented ALT_OPTIMISTIC_PATH escapes; the lock protocol is enforced
+  // dynamically under ALT_DEBUG_CHECKS and by the sanitizer CI matrix.
   OpResult InsertImpl(Node* start, Node* start_parent, uint8_t start_parent_byte,
-                      Key key, Value value);
-  OpResult RemoveImpl(Key key, Value* old_value);
+                      Key key, Value value) ALT_OPTIMISTIC_PATH;
+  OpResult RemoveImpl(Key key, Value* old_value) ALT_OPTIMISTIC_PATH;
 
   bool ScanCollect(const Node* node, Key acc, Key lo, Key hi, size_t max_items,
                    std::vector<std::pair<Key, Value>>* out, int* restarts) const;

@@ -171,7 +171,7 @@ bool AlexLike::Lookup(Key key, Value* out) {
   }
 }
 
-bool AlexLike::Insert(Key key, Value value) {
+bool AlexLike::Insert(Key key, Value value) ALT_OPTIMISTIC_PATH {
   EpochGuard g;
   for (;;) {
     const auto* snap = dir_.snapshot();
@@ -268,7 +268,7 @@ bool AlexLike::Insert(Key key, Value value) {
   }
 }
 
-void AlexLike::SplitNode(DataNode* node) {
+void AlexLike::SplitNode(DataNode* node) ALT_OPTIMISTIC_PATH {
   if (!node->lock.WriteLockOrFail()) return;  // already split by someone else
   // Verify the node is still current (another thread may have split it).
   const auto* snap = dir_.snapshot();
@@ -304,7 +304,7 @@ void AlexLike::SplitNode(DataNode* node) {
   // The directory retired `node` storage-wise; nothing else to do.
 }
 
-bool AlexLike::Update(Key key, Value value) {
+bool AlexLike::Update(Key key, Value value) ALT_OPTIMISTIC_PATH {
   EpochGuard g;
   for (;;) {
     const auto* snap = dir_.snapshot();
@@ -327,7 +327,7 @@ bool AlexLike::Update(Key key, Value value) {
   }
 }
 
-bool AlexLike::Remove(Key key) {
+bool AlexLike::Remove(Key key) ALT_OPTIMISTIC_PATH {
   EpochGuard g;
   for (;;) {
     const auto* snap = dir_.snapshot();

@@ -1,10 +1,9 @@
 #pragma once
 
 #include <map>
-#include <mutex>
-#include <shared_mutex>
 
 #include "common/index_interface.h"
+#include "common/shared_mutex.h"
 
 namespace alt {
 
@@ -18,7 +17,7 @@ class BTreeIndex : public ConcurrentIndex {
   std::string Name() const override { return "BTree(oracle)"; }
 
   Status BulkLoad(const Key* keys, const Value* values, size_t n) override {
-    std::unique_lock lock(mu_);
+    WriteLockGuard lock(mu_);
     for (size_t i = 0; i < n; ++i) {
       if (i > 0 && keys[i] <= keys[i - 1]) {
         return Status::InvalidArgument("keys must be sorted and duplicate-free");
@@ -29,7 +28,7 @@ class BTreeIndex : public ConcurrentIndex {
   }
 
   bool Lookup(Key key, Value* out) override {
-    std::shared_lock lock(mu_);
+    ReadLockGuard lock(mu_);
     auto it = map_.find(key);
     if (it == map_.end()) return false;
     *out = it->second;
@@ -37,12 +36,12 @@ class BTreeIndex : public ConcurrentIndex {
   }
 
   bool Insert(Key key, Value value) override {
-    std::unique_lock lock(mu_);
+    WriteLockGuard lock(mu_);
     return map_.emplace(key, value).second;
   }
 
   bool Update(Key key, Value value) override {
-    std::unique_lock lock(mu_);
+    WriteLockGuard lock(mu_);
     auto it = map_.find(key);
     if (it == map_.end()) return false;
     it->second = value;
@@ -50,13 +49,13 @@ class BTreeIndex : public ConcurrentIndex {
   }
 
   bool Remove(Key key) override {
-    std::unique_lock lock(mu_);
+    WriteLockGuard lock(mu_);
     return map_.erase(key) > 0;
   }
 
   size_t Scan(Key start, size_t count,
               std::vector<std::pair<Key, Value>>* out) override {
-    std::shared_lock lock(mu_);
+    ReadLockGuard lock(mu_);
     out->clear();
     for (auto it = map_.lower_bound(start); it != map_.end() && out->size() < count;
          ++it) {
@@ -66,19 +65,19 @@ class BTreeIndex : public ConcurrentIndex {
   }
 
   size_t MemoryUsage() const override {
-    std::shared_lock lock(mu_);
+    ReadLockGuard lock(mu_);
     // std::map node: 3 pointers + color + payload, rounded to the allocator.
     return map_.size() * (sizeof(std::pair<Key, Value>) + 40);
   }
 
   size_t Size() const override {
-    std::shared_lock lock(mu_);
+    ReadLockGuard lock(mu_);
     return map_.size();
   }
 
  private:
-  mutable std::shared_mutex mu_;
-  std::map<Key, Value> map_;
+  mutable SharedMutex mu_;
+  std::map<Key, Value> map_ GUARDED_BY(mu_);
 };
 
 }  // namespace alt

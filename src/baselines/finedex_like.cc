@@ -1,7 +1,6 @@
 #include "baselines/finedex_like.h"
 
 #include <algorithm>
-#include <mutex>
 
 #include "core/gpl.h"
 
@@ -132,7 +131,7 @@ bool FinedexLike::Insert(Key key, Value value) {
   const size_t pos = m->LowerBound(key);
   const bool in_array = pos < m->keys.size() && m->keys[pos] == key;
   if (in_array && !m->Tombstoned(pos)) return false;
-  std::lock_guard<SpinLock> lg(m->bin_locks[pos]);
+  SpinLockGuard lg(m->bin_locks[pos]);
   if (in_array && !m->Tombstoned(pos)) return false;  // re-check under lock
   Bin* head = m->bins[pos].load(std::memory_order_acquire);
   if (FindInBins(head, key) != nullptr) return false;
@@ -168,7 +167,7 @@ bool FinedexLike::Update(Key key, Value value) {
     m->values[pos].store(value, std::memory_order_release);
     return true;
   }
-  std::lock_guard<SpinLock> lg(m->bin_locks[pos]);
+  SpinLockGuard lg(m->bin_locks[pos]);
   Bin::Slot* s = FindInBins(m->bins[pos].load(std::memory_order_acquire), key);
   if (s == nullptr || s->state.load(std::memory_order_acquire) != 1) return false;
   s->value.store(value, std::memory_order_release);
@@ -178,7 +177,7 @@ bool FinedexLike::Update(Key key, Value value) {
 bool FinedexLike::Remove(Key key) {
   Model* m = LocateModel(key);
   const size_t pos = m->LowerBound(key);
-  std::lock_guard<SpinLock> lg(m->bin_locks[pos]);
+  SpinLockGuard lg(m->bin_locks[pos]);
   if (pos < m->keys.size() && m->keys[pos] == key && !m->Tombstoned(pos)) {
     m->tombstones[pos >> 6].fetch_or(uint64_t{1} << (pos & 63),
                                      std::memory_order_release);

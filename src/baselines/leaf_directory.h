@@ -2,7 +2,6 @@
 
 #include <atomic>
 #include <cassert>
-#include <mutex>
 #include <vector>
 
 #include "common/epoch.h"
@@ -72,7 +71,7 @@ class LeafDirectory {
   /// \return false if old_leaf is no longer present (caller must retry).
   bool ReplaceWithTwo(LeafT* old_leaf, Key left_first, LeafT* left, Key right_first,
                       LeafT* right) {
-    std::lock_guard<SpinLock> lg(structure_lock_);
+    SpinLockGuard lg(structure_lock_);
     Snapshot* s = snapshot_.load(std::memory_order_acquire);
     const size_t idx = Locate(*s, left_first);
     if (s->leaves[idx].load(std::memory_order_acquire) != old_leaf) return false;
@@ -100,7 +99,7 @@ class LeafDirectory {
 
   /// In-place replacement preserving the first key (e.g. leaf compaction).
   bool ReplaceOne(LeafT* old_leaf, Key first_key, LeafT* new_leaf) {
-    std::lock_guard<SpinLock> lg(structure_lock_);
+    SpinLockGuard lg(structure_lock_);
     Snapshot* s = snapshot_.load(std::memory_order_acquire);
     const size_t idx = Locate(*s, first_key);
     if (s->leaves[idx].load(std::memory_order_acquire) != old_leaf) return false;

@@ -109,7 +109,7 @@ restart:
   }
 }
 
-bool LippLike::Insert(Key key, Value value) {
+bool LippLike::Insert(Key key, Value value) ALT_OPTIMISTIC_PATH {
   EpochGuard g;
   int depth = 0;
 restart:
@@ -187,7 +187,7 @@ restart:
   }
 }
 
-bool LippLike::Update(Key key, Value value) {
+bool LippLike::Update(Key key, Value value) ALT_OPTIMISTIC_PATH {
   EpochGuard g;
 restart:
   Node* node = root_;
@@ -231,7 +231,7 @@ restart:
   }
 }
 
-bool LippLike::Remove(Key key) {
+bool LippLike::Remove(Key key) ALT_OPTIMISTIC_PATH {
   EpochGuard g;
 restart:
   Node* node = root_;
@@ -342,7 +342,7 @@ void LippLike::CollectAndObsolete(Node* node,
                                 [](void* p) { delete static_cast<Node*>(p); });
 }
 
-void LippLike::RebuildSubtreeFor(Key key, int anchor_depth) {
+void LippLike::RebuildSubtreeFor(Key key, int anchor_depth) ALT_OPTIMISTIC_PATH {
   if (anchor_depth < 2) anchor_depth = 2;
   for (int attempt = 0; attempt < 8; ++attempt) {
     bool restart = false;

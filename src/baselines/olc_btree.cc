@@ -61,7 +61,7 @@ Status OlcBTree::BulkLoad(const Key* keys, const Value* values, size_t n) {
 // Splits (called mid-descent; every split restarts the operation)
 // ---------------------------------------------------------------------------
 
-void OlcBTree::SplitRoot(Node* node, uint64_t v, bool* restarted) {
+void OlcBTree::SplitRoot(Node* node, uint64_t v, bool* restarted) ALT_OPTIMISTIC_PATH {
   *restarted = true;  // the caller always restarts after a (attempted) split
   bool fail = false;
   uint64_t mv = meta_lock_.ReadLockOrRestart(&fail);
@@ -118,7 +118,7 @@ void OlcBTree::SplitRoot(Node* node, uint64_t v, bool* restarted) {
 }
 
 void OlcBTree::SplitChild(Inner* parent, uint64_t pv, Node* child, uint64_t cv,
-                          bool* restarted) {
+                          bool* restarted) ALT_OPTIMISTIC_PATH {
   *restarted = true;
   bool fail = false;
   parent->lock.UpgradeToWriteLockOrRestart(pv, &fail);
@@ -228,7 +228,7 @@ bool OlcBTree::Lookup(Key key, Value* out) {
   }
 }
 
-OlcBTree::Op OlcBTree::InsertImpl(Key key, Value value) {
+OlcBTree::Op OlcBTree::InsertImpl(Key key, Value value) ALT_OPTIMISTIC_PATH {
   bool restart = false;
   uint64_t mv = meta_lock_.ReadLockOrRestart(&restart);
   Node* node = root_.load(std::memory_order_acquire);
@@ -298,7 +298,7 @@ bool OlcBTree::Insert(Key key, Value value) {
   }
 }
 
-bool OlcBTree::Update(Key key, Value value) {
+bool OlcBTree::Update(Key key, Value value) ALT_OPTIMISTIC_PATH {
   for (;;) {
     bool restart = false;
     uint64_t mv = meta_lock_.ReadLockOrRestart(&restart);
@@ -337,7 +337,7 @@ bool OlcBTree::Update(Key key, Value value) {
   }
 }
 
-OlcBTree::Op OlcBTree::RemoveImpl(Key key) {
+OlcBTree::Op OlcBTree::RemoveImpl(Key key) ALT_OPTIMISTIC_PATH {
   bool restart = false;
   uint64_t mv = meta_lock_.ReadLockOrRestart(&restart);
   Node* node = root_.load(std::memory_order_acquire);

@@ -136,7 +136,7 @@ bool XIndexLike::Lookup(Key key, Value* out) {
   EpochGuard g;
   Group* grp = LocateGroup(key);
   {
-    std::shared_lock lock(grp->buffer_mu);
+    ReadLockGuard lock(grp->buffer_mu);
     auto it = grp->buffer.find(key);
     if (it != grp->buffer.end()) {
       if (!it->second.has_value()) return false;  // tombstone
@@ -154,7 +154,7 @@ bool XIndexLike::Lookup(Key key, Value* out) {
 bool XIndexLike::Insert(Key key, Value value) {
   EpochGuard g;
   Group* grp = LocateGroup(key);
-  std::unique_lock lock(grp->buffer_mu);
+  WriteLockGuard lock(grp->buffer_mu);
   auto it = grp->buffer.find(key);
   if (it != grp->buffer.end()) {
     if (it->second.has_value()) return false;  // live buffer entry
@@ -173,7 +173,7 @@ bool XIndexLike::Insert(Key key, Value value) {
 bool XIndexLike::Update(Key key, Value value) {
   EpochGuard g;
   Group* grp = LocateGroup(key);
-  std::unique_lock lock(grp->buffer_mu);
+  WriteLockGuard lock(grp->buffer_mu);
   auto it = grp->buffer.find(key);
   if (it != grp->buffer.end()) {
     if (!it->second.has_value()) return false;
@@ -191,7 +191,7 @@ bool XIndexLike::Update(Key key, Value value) {
 bool XIndexLike::Remove(Key key) {
   EpochGuard g;
   Group* grp = LocateGroup(key);
-  std::unique_lock lock(grp->buffer_mu);
+  WriteLockGuard lock(grp->buffer_mu);
   auto it = grp->buffer.find(key);
   const GroupData* gd = grp->data.load(std::memory_order_acquire);
   const bool in_array = gd->Find(key) != gd->keys.size();
@@ -233,7 +233,7 @@ size_t XIndexLike::Scan(Key start, size_t count,
   }
   for (; gi < groups_.size() && out->size() < count; ++gi) {
     Group* grp = groups_[gi].get();
-    std::shared_lock lock(grp->buffer_mu);
+    ReadLockGuard lock(grp->buffer_mu);
     const GroupData* gd = grp->data.load(std::memory_order_acquire);
     size_t ai = gd->LowerBound(start);
     auto bi = grp->buffer.lower_bound(start);
@@ -256,7 +256,7 @@ size_t XIndexLike::Scan(Key start, size_t count,
 }
 
 void XIndexLike::CompactGroup(Group* grp) {
-  std::unique_lock lock(grp->buffer_mu);
+  WriteLockGuard lock(grp->buffer_mu);
   if (grp->buffer.empty()) return;
   GroupData* old = grp->data.load(std::memory_order_acquire);
   auto* merged = new GroupData();

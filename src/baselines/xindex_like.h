@@ -4,11 +4,11 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <thread>
 #include <vector>
 
 #include "common/index_interface.h"
+#include "common/shared_mutex.h"
 
 namespace alt {
 
@@ -67,9 +67,9 @@ class XIndexLike : public ConcurrentIndex {
   struct Group {
     Key first_key = 0;
     std::atomic<GroupData*> data{nullptr};
-    mutable std::shared_mutex buffer_mu;
+    mutable SharedMutex buffer_mu;
     /// nullopt marks a tombstone shadowing an array-resident key.
-    std::map<Key, std::optional<Value>> buffer;
+    std::map<Key, std::optional<Value>> buffer GUARDED_BY(buffer_mu);
     std::atomic<uint32_t> buffer_count{0};
 
     ~Group() { delete data.load(std::memory_order_relaxed); }

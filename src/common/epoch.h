@@ -2,10 +2,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "common/debug_checks.h"
 #include "common/spinlock.h"
+#include "common/thread_annotations.h"
 
 namespace alt {
 
@@ -25,6 +26,12 @@ namespace alt {
 /// The design is the classic 3-epoch scheme: a guard pins the global epoch in a
 /// per-thread slot; retired items are stamped with the epoch at retirement and
 /// freed when the minimum pinned epoch has advanced past them.
+///
+/// Thread registration: each thread gets one of kMaxThreads pinned-epoch slots
+/// on first use and returns it at thread exit, so any number of threads may
+/// come and go over a process lifetime as long as no more than kMaxThreads are
+/// registered *concurrently*. Exceeding that aborts with a clear message
+/// (sharing a slot would silently break the reclamation protocol).
 class EpochManager {
  public:
   static constexpr uint64_t kIdle = ~uint64_t{0};
@@ -56,12 +63,32 @@ class EpochManager {
     }
   }
 
+  /// \return true iff the calling thread is inside an Enter/Exit (EpochGuard)
+  /// read-side critical section.
+  bool CurrentThreadPinned() { return LocalState().nesting > 0; }
+
+#if defined(ALT_DEBUG_CHECKS)
+  /// Epoch-guard validator: abort unless the calling thread holds an
+  /// EpochGuard. Placed (via ALT_ASSERT_EPOCH_PINNED) at every hot-path entry
+  /// point that dereferences retire-capable shared pointers.
+  void AssertPinned(const char* where) {
+    if (LocalState().nesting > 0) return;
+    std::fprintf(stderr,
+                 "[alt-debug-checks] epoch-guard: %s reached outside an "
+                 "EpochGuard; epoch-retired memory could be reclaimed while "
+                 "still in use\n",
+                 where);
+    std::fflush(stderr);
+    std::abort();
+  }
+#endif
+
   /// Schedule `p` for deletion once all current readers are gone.
   void Retire(void* p, Deleter del) {
     ThreadState& ts = LocalState();
     uint64_t e = global_epoch_.load(std::memory_order_acquire);
     {
-      std::lock_guard<SpinLock> lg(ts.retired_lock);
+      SpinLockGuard lg(ts.retired_lock);
       ts.retired.push_back({p, del, e});
     }
     if (++ts.retire_count % kAdvanceInterval == 0) {
@@ -74,11 +101,11 @@ class EpochManager {
   /// last live index, or single-threaded tests).
   void DrainAll() {
     global_epoch_.fetch_add(1, std::memory_order_acq_rel);
-    std::lock_guard<std::mutex> lg(registry_mutex_);
+    SpinLockGuard lg(registry_mutex_);
     for (ThreadState* ts : registry_) {
       std::vector<Retired> items;
       {
-        std::lock_guard<SpinLock> il(ts->retired_lock);
+        SpinLockGuard il(ts->retired_lock);
         items.swap(ts->retired);
       }
       for (auto& r : items) r.del(r.p);
@@ -89,13 +116,19 @@ class EpochManager {
 
   /// Count of items awaiting reclamation (approximate; for tests/metrics).
   size_t PendingCount() {
-    std::lock_guard<std::mutex> lg(registry_mutex_);
+    SpinLockGuard lg(registry_mutex_);
     size_t n = 0;
     for (ThreadState* ts : registry_) {
-      std::lock_guard<SpinLock> il(ts->retired_lock);
+      SpinLockGuard il(ts->retired_lock);
       n += ts->retired.size();
     }
     return n;
+  }
+
+  /// Number of threads currently holding a pinned-epoch slot (tests/metrics).
+  size_t RegisteredThreads() {
+    SpinLockGuard lg(registry_mutex_);
+    return static_cast<size_t>(next_slot_) - free_slots_.size();
   }
 
  private:
@@ -116,7 +149,21 @@ class EpochManager {
     int nesting = 0;
     uint64_t retire_count = 0;
     SpinLock retired_lock;
-    std::vector<Retired> retired;
+    std::vector<Retired> retired GUARDED_BY(retired_lock);
+  };
+
+  /// RAII thread registration: the constructor claims a slot, the destructor
+  /// (thread exit) returns it for reuse. The ThreadState itself stays in the
+  /// registry so still-pending retired items are drained later.
+  struct ThreadLocalHandle {
+    explicit ThreadLocalHandle(EpochManager* m)
+        : mgr(m), state(m->RegisterThread()) {}
+    ~ThreadLocalHandle() { mgr->UnregisterThread(state); }
+    ThreadLocalHandle(const ThreadLocalHandle&) = delete;
+    ThreadLocalHandle& operator=(const ThreadLocalHandle&) = delete;
+
+    EpochManager* mgr;
+    ThreadState* state;
   };
 
   EpochManager() = default;
@@ -125,23 +172,49 @@ class EpochManager {
   // everything still pending plus the per-thread registry records.
   ~EpochManager() {
     DrainAll();
-    std::lock_guard<std::mutex> lg(registry_mutex_);
+    SpinLockGuard lg(registry_mutex_);
     for (ThreadState* ts : registry_) delete ts;
     registry_.clear();
   }
 
   ThreadState& LocalState() {
-    thread_local ThreadState* ts = nullptr;
-    if (ts == nullptr) ts = RegisterThread();
-    return *ts;
+    // One handle per thread; EpochManager is a process singleton, so a plain
+    // function-local thread_local suffices.
+    thread_local ThreadLocalHandle handle(this);
+    return *handle.state;
   }
 
   ThreadState* RegisterThread() {
     auto* ts = new ThreadState();
-    std::lock_guard<std::mutex> lg(registry_mutex_);
-    ts->slot = next_slot_++ % kMaxThreads;
+    SpinLockGuard lg(registry_mutex_);
+    if (!free_slots_.empty()) {
+      ts->slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else if (next_slot_ < kMaxThreads) {
+      ts->slot = next_slot_++;
+    } else {
+      // Fail loudly: handing out a shared or wrapped slot would let two live
+      // threads overwrite each other's pinned epoch — silent use-after-free
+      // of retired memory. kMaxThreads bounds *concurrent* threads only;
+      // exited threads return their slots above.
+      debug::CheckFailed(
+          "epoch",
+          "thread slot exhaustion: more than EpochManager::kMaxThreads (256) "
+          "concurrent threads registered; raise kMaxThreads or reduce thread "
+          "concurrency",
+          this);
+    }
     registry_.push_back(ts);
     return ts;
+  }
+
+  void UnregisterThread(ThreadState* ts) {
+    // A thread exiting inside a read-side section would leave its slot pinned
+    // forever; the RAII EpochGuard makes this unreachable.
+    ALT_DEBUG_CHECK(ts->nesting == 0, "epoch",
+                    "thread exited while inside an EpochGuard", ts);
+    SpinLockGuard lg(registry_mutex_);
+    free_slots_.push_back(ts->slot);
   }
 
   uint64_t MinPinnedEpoch() const {
@@ -158,7 +231,7 @@ class EpochManager {
     uint64_t min_pinned = MinPinnedEpoch();
     std::vector<Retired> free_now;
     {
-      std::lock_guard<SpinLock> lg(ts.retired_lock);
+      SpinLockGuard lg(ts.retired_lock);
       auto& v = ts.retired;
       size_t w = 0;
       for (size_t i = 0; i < v.size(); ++i) {
@@ -176,9 +249,10 @@ class EpochManager {
 
   std::atomic<uint64_t> global_epoch_{1};
   Slot slots_[kMaxThreads];
-  std::mutex registry_mutex_;
-  std::vector<ThreadState*> registry_;
-  int next_slot_ = 0;
+  SpinLock registry_mutex_;
+  std::vector<ThreadState*> registry_ GUARDED_BY(registry_mutex_);
+  std::vector<int> free_slots_ GUARDED_BY(registry_mutex_);
+  int next_slot_ GUARDED_BY(registry_mutex_) = 0;
 };
 
 /// RAII read-side critical section.
@@ -191,3 +265,13 @@ class EpochGuard {
 };
 
 }  // namespace alt
+
+/// Epoch-guard validator hook for hot-path entry points (no-op unless
+/// ALT_DEBUG_CHECKS): fatal if the calling thread dereferences
+/// epoch-retire-capable shared pointers outside an EpochGuard.
+#if defined(ALT_DEBUG_CHECKS)
+#define ALT_ASSERT_EPOCH_PINNED(where) \
+  ::alt::EpochManager::Global().AssertPinned(where)
+#else
+#define ALT_ASSERT_EPOCH_PINNED(where) ((void)0)
+#endif

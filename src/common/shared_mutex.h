@@ -1,0 +1,52 @@
+#pragma once
+
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace alt {
+
+/// \brief std::shared_mutex wrapped as a clang thread-safety capability.
+///
+/// libstdc++'s std::shared_mutex carries no annotations, so acquisitions
+/// through it (std::unique_lock / std::shared_lock) are invisible to the
+/// analysis. This wrapper + its two RAII guards make reader-writer locking in
+/// the baselines (BTreeIndex oracle, XIndexLike group buffers) checkable.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  void lock_shared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Exclusive RAII guard for SharedMutex (replaces std::unique_lock).
+class SCOPED_CAPABILITY WriteLockGuard {
+ public:
+  explicit WriteLockGuard(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~WriteLockGuard() RELEASE() { mu_.unlock(); }
+  WriteLockGuard(const WriteLockGuard&) = delete;
+  WriteLockGuard& operator=(const WriteLockGuard&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Shared RAII guard for SharedMutex (replaces std::shared_lock).
+class SCOPED_CAPABILITY ReadLockGuard {
+ public:
+  explicit ReadLockGuard(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReadLockGuard() RELEASE() { mu_.unlock_shared(); }
+  ReadLockGuard(const ReadLockGuard&) = delete;
+  ReadLockGuard& operator=(const ReadLockGuard&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace alt

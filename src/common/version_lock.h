@@ -3,7 +3,9 @@
 #include <atomic>
 #include <cstdint>
 
+#include "common/debug_checks.h"
 #include "common/spinlock.h"
+#include "common/thread_annotations.h"
 
 namespace alt {
 
@@ -13,11 +15,22 @@ namespace alt {
 ///
 /// 32 bits keeps one lock per data slot affordable (the learned layer allocates
 /// one per gapped slot).
-class SlotVersion {
+///
+/// Annotated as a clang thread-safety capability on the writer side
+/// (WriteLock / TryWriteLock / WriteUnlock); the optimistic reader side
+/// (ReadLock / ReadValidate) carries no capability — readers that load guarded
+/// state are ALT_OPTIMISTIC_PATH and must re-validate (see DESIGN.md "Locking
+/// protocol"). Under ALT_DEBUG_CHECKS the protocol checker catches
+/// unlock-without-lock, same-thread double-lock, and writers publishing a
+/// version of the wrong parity.
+class CAPABILITY("slot version lock") SlotVersion {
  public:
   /// Begin an optimistic read. Spins past in-flight writers.
   /// \return the (even) version to pass to ReadValidate.
   uint32_t ReadLock() const {
+    // A thread that write-holds this lock would spin forever here.
+    ALT_DEBUG_CHECK(!::alt::debug::LockHeldByThisThread(this), "slot-version",
+                    "ReadLock while this thread write-holds the lock", this);
     uint32_t v = version_.load(std::memory_order_acquire);
     while (v & 1u) {
       CpuRelax();
@@ -33,12 +46,16 @@ class SlotVersion {
   }
 
   /// Acquire exclusive write access (spins).
-  void WriteLock() {
+  void WriteLock() ACQUIRE() {
+    // A same-thread double write-lock would spin forever below.
+    ALT_DEBUG_CHECK(!::alt::debug::LockHeldByThisThread(this), "slot-version",
+                    "double-lock: this thread already write-holds the lock", this);
     for (;;) {
       uint32_t v = version_.load(std::memory_order_relaxed);
       if (!(v & 1u) &&
           version_.compare_exchange_weak(v, v + 1, std::memory_order_acquire,
                                          std::memory_order_relaxed)) {
+        ALT_DEBUG_NOTE_ACQUIRED(this, "slot-version");
         return;
       }
       CpuRelax();
@@ -46,14 +63,28 @@ class SlotVersion {
   }
 
   /// Try to move even -> odd starting from the observed version `v`.
-  bool TryWriteLock(uint32_t& v) {
+  bool TryWriteLock(uint32_t& v) TRY_ACQUIRE(true) {
     if (v & 1u) return false;
-    return version_.compare_exchange_strong(v, v + 1, std::memory_order_acquire,
-                                            std::memory_order_relaxed);
+    if (version_.compare_exchange_strong(v, v + 1, std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+      ALT_DEBUG_NOTE_ACQUIRED(this, "slot-version");
+      return true;
+    }
+    return false;
   }
 
   /// Release write access (version becomes even and strictly larger).
-  void WriteUnlock() { version_.fetch_add(1, std::memory_order_release); }
+  void WriteUnlock() RELEASE() {
+    ALT_DEBUG_NOTE_RELEASED(this, "slot-version");
+    // Writer-side parity check: unlocking an even version would *publish* an
+    // odd (writer-in-flight) version and wedge every future reader.
+    ALT_DEBUG_CHECK((version_.load(std::memory_order_relaxed) & 1u) != 0,
+                    "slot-version",
+                    "WriteUnlock would publish an odd version "
+                    "(unlock-without-lock or double-unlock)",
+                    this);
+    version_.fetch_add(1, std::memory_order_release);
+  }
 
   uint32_t RawVersion() const { return version_.load(std::memory_order_acquire); }
 
@@ -61,11 +92,11 @@ class SlotVersion {
   std::atomic<uint32_t> version_{0};
 };
 
-/// RAII write guard for SlotVersion.
-class SlotWriteGuard {
+/// RAII write guard for SlotVersion, visible to the thread-safety analysis.
+class SCOPED_CAPABILITY SlotWriteGuard {
  public:
-  explicit SlotWriteGuard(SlotVersion& v) : v_(v) { v_.WriteLock(); }
-  ~SlotWriteGuard() { v_.WriteUnlock(); }
+  explicit SlotWriteGuard(SlotVersion& v) ACQUIRE(v) : v_(v) { v_.WriteLock(); }
+  ~SlotWriteGuard() RELEASE() { v_.WriteUnlock(); }
   SlotWriteGuard(const SlotWriteGuard&) = delete;
   SlotWriteGuard& operator=(const SlotWriteGuard&) = delete;
 

@@ -90,11 +90,16 @@ Status AltIndex::BulkLoad(const Key* keys, const Value* values, size_t n) {
       const Key k = keys[seg.start + i];
       const Value v = values[seg.start + i];
       GplSlot& s = model->slot(model->Predict(k));
-      if (s.word.State() == SlotState::kEmpty) {
+      // Bulk load is single-threaded, but writing under the slot lock keeps
+      // the key/value stores inside the capability the analysis checks (the
+      // uncontended CAS costs nothing next to the O(n) load itself).
+      const uint32_t lw = s.word.Lock();
+      if (SlotWord::StateOf(lw) == SlotState::kEmpty) {
         s.key.store(k, std::memory_order_relaxed);
         s.value.store(v, std::memory_order_relaxed);
-        s.word.InitState(SlotState::kOccupied);
+        s.word.Unlock(lw, SlotState::kOccupied);
       } else {
+        s.word.Unlock(lw, SlotWord::StateOf(lw));
         // Prediction conflict: peeled out to ART-OPT (§III-A).
         conflicts.emplace_back(k, v);
       }
@@ -154,8 +159,8 @@ AltIndex::Probe AltIndex::ProbeSlot(const GplModel* model, Key key, Value* out,
       case SlotState::kTombstone:
         return Probe::kGoArtTombstone;
       case SlotState::kOccupied: {
-        const Key k = s.key.load(std::memory_order_relaxed);
-        const Value v = s.value.load(std::memory_order_relaxed);
+        const Key k = s.OptimisticKey();
+        const Value v = s.OptimisticValue();
         if (!s.word.Validate(w)) break;  // writer raced; re-read
         if (k == key) {
           if (out != nullptr) *out = v;
@@ -226,6 +231,7 @@ bool AltIndex::Lookup(Key key, Value* out) const {
 }
 
 bool AltIndex::LookupInternal(Key key, Value* out) const {
+  ALT_ASSERT_EPOCH_PINNED("AltIndex::LookupInternal");
   for (;;) {
     const ModelDirectory::Snapshot* snap = directory_.snapshot();
     const size_t idx = ModelDirectory::Locate(*snap, key);
@@ -332,6 +338,7 @@ bool AltIndex::Upsert(Key key, Value value) {
 }
 
 bool AltIndex::InsertInternal(Key key, Value value) {
+  ALT_ASSERT_EPOCH_PINNED("AltIndex::InsertInternal");
   for (;;) {
     const ModelDirectory::Snapshot* snap = directory_.snapshot();
     const size_t idx = ModelDirectory::Locate(*snap, key);
@@ -395,7 +402,7 @@ bool AltIndex::InsertInternal(Key key, Value value) {
         return true;
       }
       case SlotState::kOccupied: {
-        const Key k = s.key.load(std::memory_order_relaxed);
+        const Key k = s.OptimisticKey();
         if (!s.word.Validate(w)) continue;
         if (k == key) return false;  // exists in place
         // Conflict: the key belongs in ART-OPT.
@@ -439,7 +446,7 @@ bool AltIndex::InsertExpanding(GplModel* model, Expansion* exp, Key key, Value v
       for (;;) {
         const uint32_t ow = os.word.Read();
         if (SlotWord::StateOf(ow) != SlotState::kOccupied) break;
-        const Key ok_key = os.key.load(std::memory_order_relaxed);
+        const Key ok_key = os.OptimisticKey();
         if (!os.word.Validate(ow)) continue;
         if (ok_key == key) return false;  // exists in the old model
         break;
@@ -560,7 +567,7 @@ bool AltIndex::InsertIntoNewModel(GplModel* old_model, Expansion* exp, Key key,
         return true;
       }
       case SlotState::kOccupied: {
-        const Key k = s.key.load(std::memory_order_relaxed);
+        const Key k = s.OptimisticKey();
         if (!s.word.Validate(w)) continue;
         if (k == key) return false;  // exists in place
         if (ArtInsert(nm, key, value)) {
@@ -601,6 +608,7 @@ bool AltIndex::Update(Key key, Value value) {
 }
 
 bool AltIndex::UpdateInternal(Key key, Value value) {
+  ALT_ASSERT_EPOCH_PINNED("AltIndex::UpdateInternal");
   for (;;) {
     const ModelDirectory::Snapshot* snap = directory_.snapshot();
     const size_t idx = ModelDirectory::Locate(*snap, key);
@@ -628,7 +636,7 @@ bool AltIndex::UpdateInternal(Key key, Value value) {
         const uint32_t w = s.word.Read();
         const SlotState st = SlotWord::StateOf(w);
         if (st == SlotState::kOccupied) {
-          const Key k = s.key.load(std::memory_order_relaxed);
+          const Key k = s.OptimisticKey();
           if (!s.word.Validate(w)) continue;
           if (k == key) {
             const uint32_t lw = s.word.Lock();
@@ -685,6 +693,7 @@ bool AltIndex::Remove(Key key) {
 }
 
 bool AltIndex::RemoveInternal(Key key) {
+  ALT_ASSERT_EPOCH_PINNED("AltIndex::RemoveInternal");
   for (;;) {
     const ModelDirectory::Snapshot* snap = directory_.snapshot();
     const size_t idx = ModelDirectory::Locate(*snap, key);
@@ -712,7 +721,7 @@ bool AltIndex::RemoveInternal(Key key) {
         const uint32_t w = s.word.Read();
         const SlotState st = SlotWord::StateOf(w);
         if (st == SlotState::kOccupied) {
-          const Key k = s.key.load(std::memory_order_relaxed);
+          const Key k = s.OptimisticKey();
           if (!s.word.Validate(w)) continue;
           if (k == key) {
             const uint32_t lw = s.word.Lock();

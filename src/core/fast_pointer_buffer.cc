@@ -1,7 +1,6 @@
 #include "core/fast_pointer_buffer.h"
 
 #include <cassert>
-#include <mutex>
 
 namespace alt {
 
@@ -14,7 +13,7 @@ int32_t FastPointerBuffer::AddPointer(art::Node* node, int depth, Key prefix) {
   int32_t existing = node->fp_slot.load(std::memory_order_acquire);
   if (existing >= 0) return existing;
 
-  std::lock_guard<SpinLock> lg(grow_lock_);
+  SpinLockGuard lg(grow_lock_);
   existing = node->fp_slot.load(std::memory_order_acquire);
   if (existing >= 0) return existing;
 
@@ -23,14 +22,20 @@ int32_t FastPointerBuffer::AddPointer(art::Node* node, int depth, Key prefix) {
   assert(chunk < kMaxChunks && "fast pointer buffer capacity exceeded");
   if (chunks_[chunk] == nullptr) chunks_[chunk] = std::make_unique<Entry[]>(kChunkSize);
   Entry& e = EntryAt(idx);
-  e.meta.store(PackMeta(prefix, depth), std::memory_order_relaxed);
-  e.node.store(node, std::memory_order_release);
+  {
+    // The entry is unpublished (count_ not yet bumped) so its lock is free;
+    // taking it keeps the node/meta stores inside their guarding capability.
+    SpinLockGuard el(e.lock);
+    e.meta.store(PackMeta(prefix, depth), std::memory_order_relaxed);
+    e.node.store(node, std::memory_order_release);
+  }
   count_.store(idx + 1, std::memory_order_release);
   node->fp_slot.store(static_cast<int32_t>(idx), std::memory_order_release);
   return static_cast<int32_t>(idx);
 }
 
-FastPointerBuffer::Ref FastPointerBuffer::Get(int32_t slot) const {
+FastPointerBuffer::Ref FastPointerBuffer::Get(int32_t slot) const
+    ALT_OPTIMISTIC_PATH {
   const Entry& e = EntryAt(static_cast<size_t>(slot));
   const uint64_t meta = e.meta.load(std::memory_order_acquire);
   art::Node* node = e.node.load(std::memory_order_acquire);
@@ -46,7 +51,7 @@ size_t FastPointerBuffer::MemoryBytes() const {
 void FastPointerBuffer::OnNodeReplaced(int32_t slot, art::Node* old_node,
                                        art::Node* new_node) {
   Entry& e = EntryAt(static_cast<size_t>(slot));
-  std::lock_guard<SpinLock> lg(e.lock);
+  SpinLockGuard lg(e.lock);
   // Coverage and depth are identical; only the pointer changes.
   if (e.node.load(std::memory_order_relaxed) == old_node) {
     e.node.store(new_node, std::memory_order_release);
@@ -56,7 +61,7 @@ void FastPointerBuffer::OnNodeReplaced(int32_t slot, art::Node* old_node,
 void FastPointerBuffer::OnPrefixSplit(int32_t slot, art::Node* node,
                                       art::Node* new_parent) {
   Entry& e = EntryAt(static_cast<size_t>(slot));
-  std::lock_guard<SpinLock> lg(e.lock);
+  SpinLockGuard lg(e.lock);
   // The new parent sits exactly where `node` used to (same match_level), so
   // the entry's depth/prefix still describe its coverage.
   if (e.node.load(std::memory_order_relaxed) == node) {
@@ -67,7 +72,7 @@ void FastPointerBuffer::OnPrefixSplit(int32_t slot, art::Node* node,
 void FastPointerBuffer::OnNodeRemoved(int32_t slot, art::Node* node,
                                       art::Node* ancestor) {
   Entry& e = EntryAt(static_cast<size_t>(slot));
-  std::lock_guard<SpinLock> lg(e.lock);
+  SpinLockGuard lg(e.lock);
   if (e.node.load(std::memory_order_relaxed) != node) return;
   // Adopt the ancestor only if it has no entry yet; otherwise this entry
   // would stop receiving callbacks (a node names exactly one entry via

@@ -9,6 +9,7 @@
 #include "common/key_codec.h"
 #include "common/prefetch.h"
 #include "common/spinlock.h"
+#include "common/thread_annotations.h"
 
 namespace alt {
 
@@ -47,7 +48,7 @@ class FastPointerBuffer : public art::ArtStructureListener {
   int32_t AddPointer(art::Node* node, int depth, Key prefix);
 
   /// Current target of entry `slot` (lock-free read; see class comment).
-  Ref Get(int32_t slot) const;
+  Ref Get(int32_t slot) const ALT_OPTIMISTIC_PATH;
 
   /// Batched read path stage hook: pull entry `slot`'s line ahead of Get so a
   /// kGoArt outcome can resolve its fast pointer without stalling the group.
@@ -81,11 +82,14 @@ class FastPointerBuffer : public art::ArtStructureListener {
   static constexpr size_t kMaxChunks = 1 << 14;
 
   struct Entry {
-    std::atomic<art::Node*> node{nullptr};
+    SpinLock lock;
+    /// Writers (initialization + the On* SMO callbacks) hold `lock`; the
+    /// lock-free reader is Get(), the sanctioned ALT_OPTIMISTIC_PATH escape
+    /// (torn reads are benign — see the class comment).
+    std::atomic<art::Node*> node GUARDED_BY(lock){nullptr};
     /// prefix | depth: the prefix's low byte is always 0 (depth <= 7 for
     /// inner nodes), so the depth occupies the low 8 bits.
-    std::atomic<uint64_t> meta{0};
-    SpinLock lock;
+    std::atomic<uint64_t> meta GUARDED_BY(lock){0};
   };
 
   Entry& EntryAt(size_t i) const {

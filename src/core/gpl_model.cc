@@ -38,8 +38,8 @@ void GplModel::CollectRange(Key lo, Key hi, std::vector<std::pair<Key, Value>>* 
     for (;;) {
       const uint32_t w = s.word.Read();
       if (SlotWord::StateOf(w) != SlotState::kOccupied) break;
-      const Key k = s.key.load(std::memory_order_relaxed);
-      const Value v = s.value.load(std::memory_order_relaxed);
+      const Key k = s.OptimisticKey();
+      const Value v = s.OptimisticValue();
       if (!s.word.Validate(w)) continue;  // concurrent writer: re-read the slot
       if (k > hi) return;
       if (k >= lo) {

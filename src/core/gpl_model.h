@@ -7,9 +7,11 @@
 #include <utility>
 #include <vector>
 
+#include "common/debug_checks.h"
 #include "common/key_codec.h"
 #include "common/prefetch.h"
 #include "common/spinlock.h"
+#include "common/thread_annotations.h"
 
 namespace alt {
 
@@ -24,11 +26,20 @@ enum class SlotState : uint32_t {
 /// \brief Per-slot word combining the §III-E optimistic version scheme with
 /// the slot state: bit 0 = writer lock, bits 1-2 = SlotState, bits 3+ = a
 /// sequence number bumped on every unlock. One 32-bit atomic per slot.
-class SlotWord {
+///
+/// A clang thread-safety capability guarding the slot's key/value (see
+/// GplSlot). Writers hold it via Lock/Unlock; optimistic readers carry no
+/// capability and must go through GplSlot's ALT_OPTIMISTIC_PATH accessors plus
+/// Validate. Under ALT_DEBUG_CHECKS the version-lock protocol checker catches
+/// unlock-without-lock, same-thread double-lock, and stale unlock tokens.
+class CAPABILITY("slot word lock") SlotWord {
  public:
   /// Snapshot the word, spinning past in-flight writers. The returned value
   /// is both the state and the validation token.
   uint32_t Read() const {
+    // A thread that holds this slot's writer lock would spin forever here.
+    ALT_DEBUG_CHECK(!::alt::debug::LockHeldByThisThread(this), "slot-word",
+                    "Read while this thread holds the slot writer lock", this);
     uint32_t w = word_.load(std::memory_order_acquire);
     while (w & 1u) {
       CpuRelax();
@@ -46,12 +57,16 @@ class SlotWord {
   }
 
   /// Acquire the writer lock (spins) and \return the pre-lock word.
-  uint32_t Lock() {
+  uint32_t Lock() ACQUIRE() {
+    // A same-thread double lock would spin forever below.
+    ALT_DEBUG_CHECK(!::alt::debug::LockHeldByThisThread(this), "slot-word",
+                    "double-lock: this thread already holds the slot lock", this);
     for (;;) {
       uint32_t w = word_.load(std::memory_order_relaxed);
       if (!(w & 1u) &&
           word_.compare_exchange_weak(w, w | 1u, std::memory_order_acquire,
                                       std::memory_order_relaxed)) {
+        ALT_DEBUG_NOTE_ACQUIRED(this, "slot-word");
         return w;
       }
       CpuRelax();
@@ -59,7 +74,15 @@ class SlotWord {
   }
 
   /// Release the lock, publishing `new_state` and a bumped sequence number.
-  void Unlock(uint32_t locked_word, SlotState new_state) {
+  /// `locked_word` must be the exact token Lock() returned.
+  void Unlock(uint32_t locked_word, SlotState new_state) RELEASE() {
+    ALT_DEBUG_NOTE_RELEASED(this, "slot-word");
+    // Writer-side publication check: the current word must be the held token
+    // (lock bit set); publishing from a stale token would rewind the sequence
+    // number and let a racing reader validate a torn snapshot.
+    ALT_DEBUG_CHECK(word_.load(std::memory_order_relaxed) == (locked_word | 1u),
+                    "slot-word",
+                    "Unlock without the lock held or with a stale token", this);
     const uint32_t seq = (locked_word >> 3) + 1;
     word_.store((seq << 3) | (static_cast<uint32_t>(new_state) << 1),
                 std::memory_order_release);
@@ -77,10 +100,26 @@ class SlotWord {
 };
 
 /// One gapped-array slot: state word + key + value.
+///
+/// `key`/`value` are GUARDED_BY the slot word: all writes happen between
+/// word.Lock() and word.Unlock(). Concurrent readers use the two
+/// ALT_OPTIMISTIC_PATH accessors — the sanctioned seqlock escape — and must
+/// discard the loads unless word.Validate(w) subsequently succeeds.
 struct GplSlot {
   SlotWord word;
-  std::atomic<Key> key{0};
-  std::atomic<Value> value{0};
+  std::atomic<Key> key GUARDED_BY(word){0};
+  std::atomic<Value> value GUARDED_BY(word){0};
+
+  /// Optimistic (seqlock) read of `key`: only valid if a bracketing
+  /// word.Read()/word.Validate() pair succeeds.
+  Key OptimisticKey() const ALT_OPTIMISTIC_PATH {
+    return key.load(std::memory_order_relaxed);
+  }
+
+  /// Optimistic (seqlock) read of `value`: same validation contract.
+  Value OptimisticValue() const ALT_OPTIMISTIC_PATH {
+    return value.load(std::memory_order_relaxed);
+  }
 };
 
 class GplModel;

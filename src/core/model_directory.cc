@@ -1,7 +1,6 @@
 #include "core/model_directory.h"
 
 #include <cassert>
-#include <mutex>
 
 #include "common/epoch.h"
 
@@ -36,6 +35,9 @@ void ModelDirectory::BuildRadix(Snapshot* s, int radix_bits) {
 }
 
 void ModelDirectory::Build(std::vector<GplModel*> models, int radix_bits) {
+  // Build is single-threaded by contract, but holding the structure lock
+  // keeps the radix_bits_ write inside its guarding capability.
+  SpinLockGuard lg(structure_lock_);
   radix_bits_ = radix_bits;
   auto* s = new Snapshot(models.size());
   for (size_t i = 0; i < models.size(); ++i) {
@@ -49,7 +51,7 @@ void ModelDirectory::Build(std::vector<GplModel*> models, int radix_bits) {
 }
 
 bool ModelDirectory::PublishReplacement(GplModel* old_model, GplModel* new_model) {
-  std::lock_guard<SpinLock> lg(structure_lock_);
+  SpinLockGuard lg(structure_lock_);
   Snapshot* s = snapshot_.load(std::memory_order_acquire);
   const size_t idx = Locate(*s, old_model->first_key());
   if (s->models[idx].load(std::memory_order_acquire) != old_model) return false;
@@ -60,7 +62,7 @@ bool ModelDirectory::PublishReplacement(GplModel* old_model, GplModel* new_model
 }
 
 bool ModelDirectory::AppendTail(GplModel* model) {
-  std::lock_guard<SpinLock> lg(structure_lock_);
+  SpinLockGuard lg(structure_lock_);
   Snapshot* s = snapshot_.load(std::memory_order_acquire);
   const size_t n = s->first_keys.size();
   if (n > 0 && model->first_key() <= s->first_keys[n - 1]) {

@@ -8,6 +8,7 @@
 #include "common/key_codec.h"
 #include "common/prefetch.h"
 #include "common/spinlock.h"
+#include "common/thread_annotations.h"
 #include "core/gpl_model.h"
 
 namespace alt {
@@ -115,10 +116,12 @@ class ModelDirectory {
  private:
   static void RetireSnapshot(Snapshot* s);
   static void BuildRadix(Snapshot* s, int radix_bits);
-  int radix_bits_ = 0;
 
-  std::atomic<Snapshot*> snapshot_{nullptr};
+  /// Serializes structural changes (Build / PublishReplacement / AppendTail).
+  /// Snapshots themselves stay readable lock-free through `snapshot_`.
   SpinLock structure_lock_;
+  int radix_bits_ GUARDED_BY(structure_lock_) = 0;
+  std::atomic<Snapshot*> snapshot_{nullptr};
 };
 
 }  // namespace alt

@@ -1,0 +1,183 @@
+// Death tests for the ALT_DEBUG_CHECKS dynamic checkers: each test seeds one
+// concrete lock-protocol or epoch-guard misuse and proves the checker aborts
+// with its diagnostic, plus a positive churn test showing correct concurrent
+// usage stays quiet. Compiled only when the option is on (tests/CMakeLists.txt).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "art/art_tree.h"
+#include "common/epoch.h"
+#include "common/optlock.h"
+#include "common/spinlock.h"
+#include "common/version_lock.h"
+#include "core/alt_index.h"
+#include "core/gpl_model.h"
+
+#if !defined(ALT_DEBUG_CHECKS)
+#error "debug_checks_test requires -DALT_DEBUG_CHECKS=ON (see tests/CMakeLists.txt)"
+#endif
+
+namespace alt {
+namespace {
+
+// All death statements run threads or spin loops; the fork-per-assertion
+// "threadsafe" style re-executes the binary so the child is single-threaded
+// until the statement itself runs.
+class DebugChecksDeathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+  }
+};
+
+// --- version-lock protocol checker: SpinLock ---
+
+TEST_F(DebugChecksDeathTest, SpinLockDoubleLockAborts) {
+  SpinLock l;
+  l.lock();
+  // Without the checker this would spin forever (TTAS locks don't recurse).
+  EXPECT_DEATH(l.lock(), "spinlock: double-lock");
+  l.unlock();
+}
+
+TEST_F(DebugChecksDeathTest, SpinLockUnlockWithoutLockAborts) {
+  SpinLock l;
+  EXPECT_DEATH(l.unlock(), "spinlock: unlock-without-lock");
+}
+
+// --- version-lock protocol checker: SlotWord (GPL slot seqlock) ---
+
+TEST_F(DebugChecksDeathTest, SlotWordDoubleLockAborts) {
+  GplSlot s;
+  const uint32_t w = s.word.Lock();
+  EXPECT_DEATH(s.word.Lock(), "slot-word: double-lock");
+  s.word.Unlock(w, SlotState::kOccupied);
+}
+
+TEST_F(DebugChecksDeathTest, SlotWordUnlockWithoutLockAborts) {
+  GplSlot s;
+  EXPECT_DEATH(s.word.Unlock(0, SlotState::kOccupied),
+               "slot-word: unlock-without-lock");
+}
+
+TEST_F(DebugChecksDeathTest, SlotWordStaleUnlockTokenAborts) {
+  GplSlot s;
+  const uint32_t w = s.word.Lock();
+  // Publishing from a stale token would rewind the sequence number and let a
+  // racing reader validate a torn snapshot.
+  EXPECT_DEATH(s.word.Unlock(w + (1u << 3), SlotState::kOccupied),
+               "slot-word: Unlock without the lock held or with a stale token");
+  s.word.Unlock(w, SlotState::kOccupied);
+}
+
+TEST_F(DebugChecksDeathTest, SlotWordReadWhileWriteHeldAborts) {
+  GplSlot s;
+  const uint32_t w = s.word.Lock();
+  // Read() spins until the lock bit clears; self-read would hang forever.
+  EXPECT_DEATH(s.word.Read(), "slot-word: Read while this thread holds");
+  s.word.Unlock(w, SlotState::kOccupied);
+}
+
+// --- version-lock protocol checker: SlotVersion (§III-E version lock) ---
+
+TEST_F(DebugChecksDeathTest, SlotVersionUnlockWithoutLockAborts) {
+  SlotVersion v;
+  EXPECT_DEATH(v.WriteUnlock(), "slot-version: unlock-without-lock");
+}
+
+TEST_F(DebugChecksDeathTest, SlotVersionDoubleLockAborts) {
+  SlotVersion v;
+  v.WriteLock();
+  EXPECT_DEATH(v.WriteLock(), "slot-version: double-lock");
+  v.WriteUnlock();
+}
+
+TEST_F(DebugChecksDeathTest, SlotVersionWrongParityPublicationAborts) {
+  SlotVersion v;
+  // Seed the writer-side parity bug directly: the thread's held-lock set says
+  // it owns the lock, but the version was never moved to odd — unlocking now
+  // would publish an odd (writer-in-flight) version and wedge every reader.
+  debug::NoteLockAcquired(&v, "slot-version");
+  EXPECT_DEATH(v.WriteUnlock(), "slot-version: WriteUnlock would publish an odd");
+  debug::NoteLockReleased(&v, "slot-version");
+}
+
+// --- version-lock protocol checker: OptLock (ART optimistic lock coupling) ---
+
+TEST_F(DebugChecksDeathTest, OptLockDoubleLockAborts) {
+  OptLock l;
+  ASSERT_TRUE(l.WriteLockOrFail());
+  EXPECT_DEATH(l.WriteLockOrFail(), "optlock: double-lock");
+  l.WriteUnlock();
+}
+
+TEST_F(DebugChecksDeathTest, OptLockUnlockWithoutLockAborts) {
+  OptLock l;
+  EXPECT_DEATH(l.WriteUnlock(), "optlock: unlock-without-lock");
+}
+
+// --- epoch-guard validator ---
+
+TEST_F(DebugChecksDeathTest, ArtInsertOutsideEpochGuardAborts) {
+  art::ArtTree tree;
+  // ArtTree's contract requires callers to hold an EpochGuard (retired nodes
+  // could otherwise be reclaimed mid-traversal). Seed the misuse.
+  EXPECT_DEATH(tree.Insert(42, 7), "epoch-guard: ArtTree::Insert");
+}
+
+TEST_F(DebugChecksDeathTest, ArtLookupOutsideEpochGuardAborts) {
+  art::ArtTree tree;
+  {
+    EpochGuard g;
+    ASSERT_TRUE(tree.Insert(42, 7));
+  }
+  Value v;
+  EXPECT_DEATH(tree.Lookup(42, &v), "epoch-guard: ArtTree::Lookup");
+}
+
+// --- positive control: correct usage stays quiet under the checkers ---
+
+TEST(DebugChecksTest, CheckersStayQuietUnderConcurrentChurn) {
+  // Mixed concurrent churn over the full index exercises every checked lock
+  // (slot words, spin locks, ART optimistic locks, born-locked SMO nodes) and
+  // the epoch-pinned hot paths; any false positive aborts the test binary.
+  AltIndex index;
+  constexpr size_t kBulk = 20000;
+  constexpr int kThreads = 4;
+  std::vector<Key> keys(kBulk);
+  std::vector<Value> vals(kBulk);
+  for (size_t i = 0; i < kBulk; ++i) {
+    keys[i] = static_cast<Key>(i) * 16 + 5;
+    vals[i] = static_cast<Value>(i);
+  }
+  ASSERT_TRUE(index.BulkLoad(keys.data(), vals.data(), kBulk).ok());
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = static_cast<size_t>(t); i < kBulk; i += kThreads) {
+        const Key k = keys[i];
+        // Insert a conflicting neighbor (lands in ART), update, look up both,
+        // then remove the neighbor — covering all four internal hot paths.
+        if (!index.Insert(k + 1, vals[i] + 100)) failed.store(true);
+        if (!index.Update(k, vals[i] + 1)) failed.store(true);
+        Value v;
+        if (!index.Lookup(k, &v)) failed.store(true);
+        if (!index.Lookup(k + 1, &v) || v != vals[i] + 100) failed.store(true);
+        if (!index.Remove(k + 1)) failed.store(true);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(index.Size(), kBulk);
+  EpochManager::Global().DrainAll();
+}
+
+}  // namespace
+}  // namespace alt

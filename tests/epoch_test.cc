@@ -87,6 +87,54 @@ TEST(EpochTest, GlobalEpochAdvances) {
   EpochManager::Global().DrainAll();
 }
 
+TEST(EpochTest, ThreadSlotsAreReusedAcrossThreadChurn) {
+  // Far more *sequential* threads than kMaxThreads: each thread returns its
+  // pinned-epoch slot at exit, so churn never exhausts the slot pool and the
+  // number of live registrations stays bounded.
+  constexpr int kChurn = EpochManager::kMaxThreads + 44;
+  for (int i = 0; i < kChurn; ++i) {
+    std::thread t([] {
+      EpochGuard g;
+      EpochManager::Global().Retire(new Tracked(), DeleteTracked);
+    });
+    t.join();
+  }
+  EXPECT_LT(EpochManager::Global().RegisteredThreads(),
+            static_cast<size_t>(EpochManager::kMaxThreads));
+  EpochManager::Global().DrainAll();
+}
+
+TEST(EpochDeathTest, SlotExhaustionAbortsLoudly) {
+  // Handing out a shared or wrapped slot would let two live threads overwrite
+  // each other's pinned epoch (silent use-after-free), so registration
+  // #(kMaxThreads + 1) must abort with a diagnostic instead.
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        std::atomic<bool> release{false};
+        std::atomic<int> pinned{0};
+        // The main thread claims one slot, then kMaxThreads spawned threads
+        // take theirs one at a time (handshake: the next thread only spawns
+        // once the previous one registered, and none exits until released, so
+        // slots cannot be recycled). The last registration is one too many
+        // and must abort before `pinned` ever reaches kMaxThreads — the
+        // release below only runs if the checker is broken.
+        EpochManager::Global().CurrentThreadPinned();
+        std::vector<std::thread> threads;
+        for (int i = 0; i < EpochManager::kMaxThreads; ++i) {
+          threads.emplace_back([&] {
+            EpochGuard g;
+            pinned.fetch_add(1);
+            while (!release.load()) std::this_thread::yield();
+          });
+          while (pinned.load() < i + 1) std::this_thread::yield();
+        }
+        release.store(true);
+        for (auto& t : threads) t.join();
+      },
+      "thread slot exhaustion");
+}
+
 TEST(EpochTest, ManyThreadsRetireConcurrently) {
   g_deleted.store(0);
   constexpr int kThreads = 8;
