@@ -54,6 +54,11 @@ BenchConfig BenchConfig::Parse(int argc, char** argv) {
       cfg.seed = std::strtoull(next(i), nullptr, 10);
     } else if (!std::strcmp(a, "--dataset-file")) {
       cfg.dataset_file = next(i);
+    } else if (!std::strcmp(a, "--metrics_json") || !std::strcmp(a, "--metrics-json")) {
+      cfg.metrics_json = next(i);
+    } else if (!std::strcmp(a, "--metrics_interval") ||
+               !std::strcmp(a, "--metrics-interval")) {
+      cfg.metrics_interval = std::atof(next(i));
     } else if (!std::strcmp(a, "--datasets")) {
       cfg.datasets.clear();
       for (const auto& name : SplitCsv(next(i))) {
@@ -70,7 +75,8 @@ BenchConfig BenchConfig::Parse(int argc, char** argv) {
       std::printf(
           "flags: --keys N --threads T --ops N --bulk-fraction F "
           "--zipf-theta F --scan-length N --read_batch N --seed N "
-          "--datasets a,b --indexes a,b --dataset-file PATH\n"
+          "--datasets a,b --indexes a,b --dataset-file PATH "
+          "--metrics_json PATH --metrics_interval S\n"
           "env: ALT_BENCH_SCALE=K multiplies --keys and --ops\n");
       std::exit(0);
     } else {
@@ -139,6 +145,13 @@ RunResult RunOne(const BenchConfig& cfg, const std::string& index_name,
   RunOptions run_opts;
   run_opts.scan_length = cfg.scan_length;
   run_opts.read_batch = cfg.read_batch;
+  run_opts.metrics_json = cfg.metrics_json;
+  run_opts.metrics_interval_seconds = cfg.metrics_interval;
+  run_opts.metrics_label = index_name;
+  run_opts.metrics_label += '/';
+  run_opts.metrics_label += WorkloadName(workload);
+  run_opts.metrics_label += '/';
+  run_opts.metrics_label += std::to_string(cfg.threads) + "t";
   const RunResult r = RunWorkload(index.get(), streams, run_opts);
   index.reset();
   EpochManager::Global().DrainAll();

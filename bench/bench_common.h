@@ -34,6 +34,12 @@ struct BenchConfig {
   std::vector<Dataset> datasets = PaperDatasets();
   std::vector<std::string> indexes = PaperIndexLineup();
   std::string dataset_file;  // optional real SOSD file
+  /// `--metrics_json PATH`: append one JSON line per run (see
+  /// RunOptions::metrics_json); empty = disabled.
+  std::string metrics_json;
+  /// `--metrics_interval S`: seconds between interval snapshots within a run
+  /// (0 = final snapshot only).
+  double metrics_interval = 0;
 
   static BenchConfig Parse(int argc, char** argv);
 };

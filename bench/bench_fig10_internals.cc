@@ -7,6 +7,7 @@
 
 #include "bench_common.h"
 #include "common/epoch.h"
+#include "common/metrics.h"
 #include "common/timer.h"
 
 using namespace alt;
@@ -23,19 +24,21 @@ int main(int argc, char** argv) {
     for (int variant = 0; variant < 2; ++variant) {
       AltOptions o;
       o.enable_fast_pointers = (variant == 0);
-      o.enable_stats = true;
       AltIndex index(o);
       auto setup = SplitDataset(keys, cfg.bulk_fraction);
       std::vector<Value> vals(setup.loaded.size());
       for (size_t i = 0; i < vals.size(); ++i) vals[i] = ValueFor(setup.loaded[i]);
       index.BulkLoad(setup.loaded.data(), vals.data(), setup.loaded.size());
+      const auto base = metrics::TakeSnapshot();
       Value v;
       for (size_t i = 0; i < setup.loaded.size(); ++i) index.Lookup(setup.loaded[i], &v);
-      const auto st = index.CollectStats();
-      avg[variant] = st.art_lookups > 0
-                         ? static_cast<double>(st.art_lookup_steps) /
-                               static_cast<double>(st.art_lookups)
-                         : 0.0;
+      const auto delta = metrics::TakeSnapshot().DeltaSince(base);
+      const uint64_t lookups = delta.counter(metrics::Counter::kArtLookups);
+      avg[variant] =
+          lookups > 0
+              ? static_cast<double>(delta.counter(metrics::Counter::kArtLookupSteps)) /
+                    static_cast<double>(lookups)
+              : 0.0;
     }
     PrintRow({DatasetName(d), Fmt(avg[0]), Fmt(avg[1])});
   }

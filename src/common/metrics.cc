@@ -1,0 +1,198 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/timer.h"
+
+namespace alt {
+namespace metrics {
+
+const char* CounterName(Counter c) {
+  switch (c) {
+    case Counter::kLearnedHits: return "learned_hits";
+    case Counter::kLearnedNegatives: return "learned_negatives";
+    case Counter::kSlotInserts: return "slot_inserts";
+    case Counter::kConflictInserts: return "conflict_inserts";
+    case Counter::kArtLookups: return "art_lookups";
+    case Counter::kArtLookupSteps: return "art_lookup_steps";
+    case Counter::kArtRootFallbacks: return "art_root_fallbacks";
+    case Counter::kFastPointerHits: return "fast_pointer_hits";
+    case Counter::kWriteBacks: return "write_backs";
+    case Counter::kScanOps: return "scan_ops";
+    case Counter::kEmptyScans: return "empty_scans";
+    case Counter::kRetrainStarted: return "retrain_started";
+    case Counter::kRetrainFinished: return "retrain_finished";
+    case Counter::kTailModelsAppended: return "tail_models_appended";
+    case Counter::kBatchLookups: return "batch_lookups";
+    case Counter::kBatchScalarFallbacks: return "batch_scalar_fallbacks";
+    case Counter::kCount: break;
+  }
+  return "unknown";
+}
+
+const char* GaugeName(Gauge g) {
+  switch (g) {
+    case Gauge::kNumModels: return "num_models";
+    case Gauge::kLiveKeys: return "live_keys";
+    case Gauge::kCount: break;
+  }
+  return "unknown";
+}
+
+const char* EventTypeName(EventType t) {
+  switch (t) {
+    case EventType::kBulkLoad: return "bulk_load";
+    case EventType::kRetrainStart: return "retrain_start";
+    case EventType::kRetrainFinish: return "retrain_finish";
+    case EventType::kTailModelAppend: return "tail_model_append";
+  }
+  return "unknown";
+}
+
+Registry& Registry::Global() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::RecordEvent(EventType type, uint64_t duration_ns, uint64_t detail) {
+  const Event e{type, NowNanos(), duration_ns, detail};
+  SpinLockGuard g(event_lock_);
+  events_[event_head_ % kEventCapacity] = e;
+  ++event_head_;
+}
+
+Snapshot Registry::TakeSnapshot() const {
+  Snapshot s;
+  s.at_ns = NowNanos();
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i < kNumCounters; ++i) {
+      s.counters[i] += shard.cells[i].load(std::memory_order_relaxed);
+    }
+    for (size_t i = 0; i < kFpDepthBuckets; ++i) {
+      s.fp_hit_depth[i] +=
+          shard.cells[kNumCounters + i].load(std::memory_order_relaxed);
+    }
+  }
+  for (size_t i = 0; i < kNumGauges; ++i) {
+    s.gauges[i] = gauges_[i].load(std::memory_order_relaxed);
+  }
+  {
+    SpinLockGuard g(event_lock_);
+    const uint64_t n = std::min<uint64_t>(event_head_, kEventCapacity);
+    s.events.reserve(static_cast<size_t>(n));
+    // Oldest retained event first.
+    for (uint64_t i = event_head_ - n; i < event_head_; ++i) {
+      s.events.push_back(events_[i % kEventCapacity]);
+    }
+    s.dropped_events = event_head_ - n;
+  }
+  return s;
+}
+
+void Registry::ResetForTest() {
+  for (Shard& shard : shards_) {
+    for (auto& cell : shard.cells) cell.store(0, std::memory_order_relaxed);
+  }
+  for (auto& g : gauges_) g.store(0, std::memory_order_relaxed);
+  SpinLockGuard g(event_lock_);
+  event_head_ = 0;
+}
+
+Snapshot Snapshot::DeltaSince(const Snapshot& base) const {
+  Snapshot d = *this;
+  for (size_t i = 0; i < kNumCounters; ++i) {
+    d.counters[i] -= std::min(base.counters[i], d.counters[i]);
+  }
+  for (size_t i = 0; i < kFpDepthBuckets; ++i) {
+    d.fp_hit_depth[i] -= std::min(base.fp_hit_depth[i], d.fp_hit_depth[i]);
+  }
+  // Events recorded at or before the baseline snapshot are not part of the
+  // delta. Ring drops in `base` are counted once: only newly dropped remain.
+  d.events.erase(std::remove_if(d.events.begin(), d.events.end(),
+                                [&](const Event& e) { return e.at_ns <= base.at_ns; }),
+                 d.events.end());
+  d.dropped_events -= std::min(base.dropped_events, d.dropped_events);
+  return d;
+}
+
+Snapshot TakeSnapshot() {
+#if defined(ALT_METRICS_DISABLED)
+  Snapshot s;
+  s.at_ns = NowNanos();
+  return s;
+#else
+  return Registry::Global().TakeSnapshot();
+#endif
+}
+
+void ResetForTest() {
+#if !defined(ALT_METRICS_DISABLED)
+  Registry::Global().ResetForTest();
+#endif
+}
+
+namespace {
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out->append(buf);
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string ToJson(const Snapshot& s) {
+  std::string out;
+  out.reserve(1024 + 96 * s.events.size());
+  out += "{\"at_ns\":";
+  AppendU64(&out, s.at_ns);
+  out += ",\"counters\":{";
+  for (size_t i = 0; i < kNumCounters; ++i) {
+    if (i != 0) out += ',';
+    out += '"';
+    out += CounterName(static_cast<Counter>(i));
+    out += "\":";
+    AppendU64(&out, s.counters[i]);
+  }
+  out += "},\"fp_hit_depth\":[";
+  for (size_t i = 0; i < kFpDepthBuckets; ++i) {
+    if (i != 0) out += ',';
+    AppendU64(&out, s.fp_hit_depth[i]);
+  }
+  out += "],\"gauges\":{";
+  for (size_t i = 0; i < kNumGauges; ++i) {
+    if (i != 0) out += ',';
+    out += '"';
+    out += GaugeName(static_cast<Gauge>(i));
+    out += "\":";
+    AppendI64(&out, s.gauges[i]);
+  }
+  out += "},\"events\":[";
+  for (size_t i = 0; i < s.events.size(); ++i) {
+    const Event& e = s.events[i];
+    if (i != 0) out += ',';
+    out += "{\"type\":\"";
+    out += EventTypeName(e.type);
+    out += "\",\"at_ns\":";
+    AppendU64(&out, e.at_ns);
+    out += ",\"duration_ns\":";
+    AppendU64(&out, e.duration_ns);
+    out += ",\"detail\":";
+    AppendU64(&out, e.detail);
+    out += '}';
+  }
+  out += "],\"dropped_events\":";
+  AppendU64(&out, s.dropped_events);
+  out += '}';
+  return out;
+}
+
+}  // namespace metrics
+}  // namespace alt

@@ -5,13 +5,20 @@
 #include <cmath>
 
 #include "common/epoch.h"
+#include "common/metrics.h"
+#include "common/timer.h"
 #include "core/gpl.h"
 
 namespace alt {
 
 namespace {
 
-// Merge two ascending (key, value) runs, truncating at `limit`.
+using metrics::Counter;
+
+// Merge two ascending (key, value) runs, truncating at `limit`. Each run may
+// briefly contain a key the other also holds (a migration or write-back can
+// move a key between the learned layer and ART mid-collection), so equal keys
+// are emitted once — the first observed copy wins.
 void MergePairs(std::vector<std::pair<Key, Value>>& a,
                 std::vector<std::pair<Key, Value>>& b, size_t limit,
                 std::vector<std::pair<Key, Value>>* out) {
@@ -19,12 +26,37 @@ void MergePairs(std::vector<std::pair<Key, Value>>& a,
   out->reserve(std::min(limit, a.size() + b.size()));
   size_t i = 0, j = 0;
   while (out->size() < limit && (i < a.size() || j < b.size())) {
+    std::pair<Key, Value> next;
     if (j >= b.size() || (i < a.size() && a[i].first <= b[j].first)) {
-      out->push_back(a[i++]);
+      next = a[i++];
     } else {
-      out->push_back(b[j++]);
+      next = b[j++];
     }
+    if (!out->empty() && out->back().first == next.first) continue;
+    out->push_back(next);
   }
+}
+
+// Drop all but the first copy of each key from the sorted tail [begin, end) of
+// `v` (§III-F scan dedupe: during an expansion the old model and the temporal
+// buffer are collected over the same key range, and a key migrated between the
+// two per-slot-atomic collection passes appears in both).
+void DedupeSortedTail(std::vector<std::pair<Key, Value>>* v, size_t begin) {
+  auto first = v->begin() + static_cast<ptrdiff_t>(begin);
+  v->erase(std::unique(first, v->end(),
+                       [](const auto& x, const auto& y) { return x.first == y.first; }),
+           v->end());
+}
+
+// Terminal accounting for lookups the learned layer answers by itself.
+inline bool FinishLearnedHit() {
+  metrics::Inc(Counter::kLearnedHits);
+  return true;
+}
+
+inline bool FinishLearnedNegative() {
+  metrics::Inc(Counter::kLearnedNegatives);
+  return false;
 }
 
 }  // namespace
@@ -50,6 +82,7 @@ Status AltIndex::BulkLoad(const std::vector<std::pair<Key, Value>>& sorted_pairs
 }
 
 Status AltIndex::BulkLoad(const Key* keys, const Value* values, size_t n) {
+  const Stopwatch load_clock;
   if (directory_.NumModels() != 0) {
     return Status::InvalidArgument("BulkLoad may only run once");
   }
@@ -130,6 +163,9 @@ Status AltIndex::BulkLoad(const Key* keys, const Value* values, size_t n) {
   }
 
   size_.store(n, std::memory_order_relaxed);
+  metrics::SetGauge(metrics::Gauge::kNumModels,
+                    static_cast<int64_t>(directory_.NumModels()));
+  metrics::RecordEvent(metrics::EventType::kBulkLoad, load_clock.ElapsedNanos(), n);
   return Status::OK();
 }
 
@@ -177,7 +213,6 @@ AltIndex::Probe AltIndex::ProbeSlot(const GplModel* model, Key key, Value* out,
 
 bool AltIndex::ArtLookup(const GplModel* model, Key key, Value* out) const {
   int steps = 0;
-  int* steps_ptr = options_.enable_stats ? &steps : nullptr;
   bool found = false;
   bool used_hint = false;
   const int32_t fpi = model->fp_index();
@@ -185,24 +220,22 @@ bool AltIndex::ArtLookup(const GplModel* model, Key key, Value* out) const {
     const FastPointerBuffer::Ref ref = fp_buffer_.Get(fpi);
     if (ref.node != nullptr && FastPointerBuffer::Covers(ref, key)) {
       used_hint = true;
-      const art::HintOutcome r = art_.LookupFrom(ref.node, key, out, steps_ptr);
+      const art::HintOutcome r = art_.LookupFrom(ref.node, key, out, &steps);
       if (r == art::HintOutcome::kFound) {
         found = true;
+        metrics::Inc(Counter::kFastPointerHits);
+        metrics::FpDepthHit(ref.depth);
       } else {
         // Miss within the hinted subtree is not authoritative under races
         // (an SMO may have momentarily moved the key above the hint).
-        if (options_.enable_stats) {
-          art_root_fallbacks_.fetch_add(1, std::memory_order_relaxed);
-        }
-        found = art_.Lookup(key, out, steps_ptr);
+        metrics::Inc(Counter::kArtRootFallbacks);
+        found = art_.Lookup(key, out, &steps);
       }
     }
   }
-  if (!used_hint) found = art_.Lookup(key, out, steps_ptr);
-  if (options_.enable_stats) {
-    art_lookups_.fetch_add(1, std::memory_order_relaxed);
-    art_lookup_steps_.fetch_add(static_cast<uint64_t>(steps), std::memory_order_relaxed);
-  }
+  if (!used_hint) found = art_.Lookup(key, out, &steps);
+  metrics::Inc(Counter::kArtLookups);
+  metrics::Inc(Counter::kArtLookupSteps, static_cast<uint64_t>(steps));
   return found;
 }
 
@@ -212,13 +245,18 @@ bool AltIndex::ArtInsert(GplModel* model, Key key, Value value) {
     const FastPointerBuffer::Ref ref = fp_buffer_.Get(fpi);
     if (ref.node != nullptr && FastPointerBuffer::Covers(ref, key)) {
       const art::HintOutcome r = art_.InsertFrom(ref.node, key, value);
-      if (r == art::HintOutcome::kInserted) return true;
+      if (r == art::HintOutcome::kInserted) {
+        metrics::Inc(Counter::kConflictInserts);
+        return true;
+      }
       if (r == art::HintOutcome::kExists) return false;
       // kNeedRoot: the SMO involves the hint node itself — the root-based
       // insert below performs it and the listener refreshes the entry.
     }
   }
-  return art_.Insert(key, value);
+  const bool inserted = art_.Insert(key, value);
+  if (inserted) metrics::Inc(Counter::kConflictInserts);
+  return inserted;
 }
 
 // ---------------------------------------------------------------------------
@@ -241,39 +279,43 @@ bool AltIndex::LookupInternal(Key key, Value* out) const {
     const GplSlot* slot = nullptr;
     uint32_t word = 0;
     Probe p = ProbeSlot(model, key, out, &slot, &word);
-    if (p == Probe::kHit) return true;
+    if (p == Probe::kHit) return FinishLearnedHit();
 
     if (slot == nullptr && exp != nullptr) {
       // Coverage gap (§III-F): the temporal buffer spans slightly more key
       // space than the old model (span grows by half a slot), so during an
       // expansion a key beyond the old coverage may live in a temporal slot.
       p = ProbeSlot(exp->new_model, key, out, &slot, &word);
-      if (p == Probe::kHit) return true;
+      if (p == Probe::kHit) return FinishLearnedHit();
       if (p == Probe::kMigrated) continue;  // stale snapshot: re-route
-      if (p == Probe::kEmpty && exp->new_model->strict_empty()) return false;
+      if (p == Probe::kEmpty && exp->new_model->strict_empty()) {
+        return FinishLearnedNegative();
+      }
       // Otherwise fall through to ART with the temporal slot as the routed
       // slot (or none if the key is beyond the temporal coverage too).
     } else if (p == Probe::kEmpty) {
       if (exp == nullptr) {
         // Zero-error invariant: an EMPTY predicted slot proves absence —
         // unless the model's invariant is suspended (fresh tail model).
-        if (model->strict_empty()) return false;
+        if (model->strict_empty()) return FinishLearnedNegative();
       } else {
         // §III-F: new inserts land in the temporal buffer.
         p = ProbeSlot(exp->new_model, key, out, &slot, &word);
-        if (p == Probe::kHit) return true;
+        if (p == Probe::kHit) return FinishLearnedHit();
         if (p == Probe::kMigrated) continue;  // stale snapshot: re-route
-        if (p == Probe::kEmpty && exp->new_model->strict_empty()) return false;
+        if (p == Probe::kEmpty && exp->new_model->strict_empty()) {
+          return FinishLearnedNegative();
+        }
         // Pre-sweep temporal slot: fall through to ART.
       }
     } else if (p == Probe::kMigrated) {
       p = ProbeSlot(exp != nullptr ? exp->new_model : model, key, out, &slot,
                     &word);
-      if (p == Probe::kHit) return true;
+      if (p == Probe::kHit) return FinishLearnedHit();
       if (p == Probe::kMigrated) continue;  // stale snapshot: re-route
       if (p == Probe::kEmpty &&
           (exp == nullptr || exp->new_model->strict_empty())) {
-        return false;
+        return FinishLearnedNegative();
       }
     }
 
@@ -293,6 +335,7 @@ bool AltIndex::LookupInternal(Key key, Value* out) const {
             ms->key.store(key, std::memory_order_relaxed);
             ms->value.store(moved, std::memory_order_relaxed);
             ms->word.Unlock(lw, SlotState::kOccupied);
+            metrics::Inc(Counter::kWriteBacks);
             if (out != nullptr) *out = moved;
             return true;
           }
@@ -396,6 +439,7 @@ bool AltIndex::InsertInternal(Key key, Value value) {
         s.key.store(key, std::memory_order_relaxed);
         s.value.store(value, std::memory_order_relaxed);
         s.word.Unlock(lw, SlotState::kOccupied);
+        metrics::Inc(Counter::kSlotInserts);
         size_.fetch_add(1, std::memory_order_relaxed);
         model->BumpInsertCount();
         MaybeTriggerExpansion(model);
@@ -561,6 +605,7 @@ bool AltIndex::InsertIntoNewModel(GplModel* old_model, Expansion* exp, Key key,
         s.key.store(key, std::memory_order_relaxed);
         s.value.store(value, std::memory_order_relaxed);
         s.word.Unlock(lw, SlotState::kOccupied);
+        metrics::Inc(Counter::kSlotInserts);
         size_.fetch_add(1, std::memory_order_relaxed);
         exp->new_inserts.fetch_add(1, std::memory_order_relaxed);
         MaybeFinishExpansion(old_model, exp);
@@ -673,7 +718,7 @@ bool AltIndex::UpdateInternal(Key key, Value value) {
 
     if (!decided) continue;  // slot changed underneath or all-migrated: retry
 
-    if (const_cast<art::ArtTree&>(art_).Update(key, value)) return true;
+    if (art_.Update(key, value)) return true;
     if (routed_slot != nullptr) {
       if (!routed_slot->word.Validate(routed_word)) continue;
     } else {
@@ -760,7 +805,7 @@ bool AltIndex::RemoveInternal(Key key) {
 
     if (!decided) continue;  // slot changed underneath or all-migrated: retry
 
-    if (const_cast<art::ArtTree&>(art_).Remove(key)) {
+    if (art_.Remove(key)) {
       size_.fetch_sub(1, std::memory_order_relaxed);
       return true;
     }
@@ -786,6 +831,7 @@ size_t AltIndex::Scan(Key start, size_t count,
   out->clear();
   if (count == 0) return 0;
   EpochGuard g;
+  metrics::Inc(Counter::kScanOps);
 
   std::vector<std::pair<Key, Value>> learned;
   const ModelDirectory::Snapshot* snap = directory_.snapshot();
@@ -799,6 +845,9 @@ size_t AltIndex::Scan(Key start, size_t count,
     if (exp != nullptr) {
       exp->new_model->CollectRange(start, ~Key{0}, &learned, count);
       std::sort(learned.begin() + static_cast<ptrdiff_t>(before), learned.end());
+      // A key migrated to the temporal buffer between the two per-slot-atomic
+      // collection passes is observed by both; keep the first copy.
+      DedupeSortedTail(&learned, before);
     }
   }
   // Keys in the learned layer are slot-ordered per model and models are
@@ -806,9 +855,10 @@ size_t AltIndex::Scan(Key start, size_t count,
   const Key hi = learned.size() >= count ? learned[count - 1].first : ~Key{0};
 
   std::vector<std::pair<Key, Value>> art_items;
-  const_cast<art::ArtTree&>(art_).RangeQuery(start, hi, &art_items);
+  art_.RangeQuery(start, hi, &art_items);
 
   MergePairs(learned, art_items, count, out);
+  if (out->empty()) metrics::Inc(Counter::kEmptyScans);
   return out->size();
 }
 
@@ -817,6 +867,7 @@ size_t AltIndex::RangeQuery(Key lo, Key hi,
   out->clear();
   if (hi < lo) return 0;
   EpochGuard g;
+  metrics::Inc(Counter::kScanOps);
 
   std::vector<std::pair<Key, Value>> learned;
   const ModelDirectory::Snapshot* snap = directory_.snapshot();
@@ -830,11 +881,13 @@ size_t AltIndex::RangeQuery(Key lo, Key hi,
     if (exp != nullptr) {
       exp->new_model->CollectRange(lo, hi, &learned);
       std::sort(learned.begin() + static_cast<ptrdiff_t>(before), learned.end());
+      // See Scan: drop the second copy of keys caught mid-migration.
+      DedupeSortedTail(&learned, before);
     }
   }
 
   std::vector<std::pair<Key, Value>> art_items;
-  const_cast<art::ArtTree&>(art_).RangeQuery(lo, hi, &art_items);
+  art_.RangeQuery(lo, hi, &art_items);
 
   MergePairs(learned, art_items, ~size_t{0}, out);
   return out->size();
@@ -890,6 +943,7 @@ void AltIndex::EnsureArtKeyVisible(Key key) {
       s->key.store(key, std::memory_order_relaxed);
       s->value.store(moved, std::memory_order_relaxed);
       s->word.Unlock(lw, SlotState::kOccupied);
+      metrics::Inc(Counter::kWriteBacks);
       return;
     }
   }
@@ -924,11 +978,14 @@ void AltIndex::MaybeTriggerExpansion(GplModel* model) {
   new_model->set_strict_empty(false);
   auto* exp = new Expansion(new_model);
   exp->finish_threshold = std::max<uint32_t>(64, model->build_size());
+  exp->start_ns = NowNanos();
   if (!model->TryInstallExpansion(exp)) {
     delete exp;
     return;
   }
   retrain_started_.fetch_add(1, std::memory_order_relaxed);
+  metrics::Inc(Counter::kRetrainStarted);
+  metrics::RecordEvent(metrics::EventType::kRetrainStart, 0, model->first_key());
 }
 
 void AltIndex::MaybeFinishExpansion(GplModel* model, Expansion* exp) {
@@ -971,6 +1028,7 @@ void AltIndex::FinishExpansion(GplModel* model, Expansion* exp) {
         s.key.store(k, std::memory_order_relaxed);
         s.value.store(moved, std::memory_order_relaxed);
         s.word.Unlock(lw, SlotState::kOccupied);
+        metrics::Inc(Counter::kWriteBacks);
         continue;
       }
     }
@@ -989,6 +1047,9 @@ void AltIndex::FinishExpansion(GplModel* model, Expansion* exp) {
   (void)ok;
   exp->done.store(true, std::memory_order_release);
   retrain_finished_.fetch_add(1, std::memory_order_relaxed);
+  metrics::Inc(Counter::kRetrainFinished);
+  metrics::RecordEvent(metrics::EventType::kRetrainFinish,
+                       NowNanos() - exp->start_ns, published->first_key());
 
   AppendTailModelIfLast(published);
 }
@@ -1020,6 +1081,10 @@ void AltIndex::AppendTailModelIfLast(const GplModel* published) {
     delete tail;
     return;
   }
+  metrics::Inc(Counter::kTailModelsAppended);
+  metrics::RecordEvent(metrics::EventType::kTailModelAppend, 0, tail_first);
+  metrics::SetGauge(metrics::Gauge::kNumModels,
+                    static_cast<int64_t>(directory_.NumModels()));
   std::vector<std::pair<Key, Value>> strays;
   art_.RangeQuery(tail_first, ~Key{0}, &strays);
   for (const auto& [k, unused_v] : strays) {
@@ -1038,6 +1103,7 @@ void AltIndex::AppendTailModelIfLast(const GplModel* published) {
         s.key.store(k, std::memory_order_relaxed);
         s.value.store(moved, std::memory_order_relaxed);
         s.word.Unlock(lw, SlotState::kOccupied);
+        metrics::Inc(Counter::kWriteBacks);
         continue;
       }
     }
@@ -1070,9 +1136,6 @@ AltIndex::Stats AltIndex::CollectStats() const {
   st.retrain_finished = retrain_finished_.load(std::memory_order_relaxed);
   st.memory_bytes = MemoryUsage();
   st.error_bound = epsilon_;
-  st.art_lookups = art_lookups_.load(std::memory_order_relaxed);
-  st.art_lookup_steps = art_lookup_steps_.load(std::memory_order_relaxed);
-  st.art_root_fallbacks = art_root_fallbacks_.load(std::memory_order_relaxed);
   return st;
 }
 

@@ -151,10 +151,9 @@ class AltIndex {
     size_t retrain_finished = 0;    ///< expansions completed & published
     size_t memory_bytes = 0;        ///< models + directory + buffer + ART
     double error_bound = 0;         ///< effective epsilon
-    uint64_t art_lookups = 0;       ///< secondary searches (if stats enabled)
-    uint64_t art_lookup_steps = 0;  ///< nodes visited by secondary searches
-    uint64_t art_root_fallbacks = 0;  ///< hinted searches that retried at root
   };
+  // Traffic counters (ART lookups, fast-pointer hits, conflict inserts, ...)
+  // live in the always-on metrics registry; see common/metrics.h.
   Stats CollectStats() const;
 
   size_t MemoryUsage() const;
@@ -229,9 +228,6 @@ class AltIndex {
   std::atomic<size_t> size_{0};
   std::atomic<size_t> retrain_started_{0};
   std::atomic<size_t> retrain_finished_{0};
-  mutable std::atomic<uint64_t> art_lookups_{0};
-  mutable std::atomic<uint64_t> art_lookup_steps_{0};
-  mutable std::atomic<uint64_t> art_root_fallbacks_{0};
 };
 
 }  // namespace alt

@@ -43,12 +43,6 @@ struct AltOptions {
   /// shorter searches (the §III-B design-choice ablation).
   int upper_radix_bits = 0;
 
-  /// Count secondary-search traffic (lookups, node steps, root fallbacks) in
-  /// AltIndex::Stats. Adds shared-atomic RMWs to the read path; off by
-  /// default so the hot path performs no shared-counter writes. CollectStats
-  /// reports zeros for these counters when disabled.
-  bool enable_stats = false;
-
   /// In-flight lookups per group in LookupBatch (AMAC-style pipelining).
   /// Values past the CPU's miss-level parallelism (~10-16 outstanding L1
   /// misses) add bookkeeping without hiding more latency. Clamped to

@@ -141,6 +141,10 @@ struct Expansion {
   std::atomic<uint32_t> new_inserts{0};
   /// Live keys in the old model at expansion start (the finish threshold).
   uint32_t finish_threshold = 0;
+  /// NowNanos() when the expansion was prepared; the §III-F retrain-finish
+  /// event's duration is measured from here (set before install, never
+  /// written again).
+  uint64_t start_ns = 0;
   /// Exactly one thread runs the finishing sweep.
   std::atomic<bool> finishing{false};
   /// Set once the sweep + ART write-back completed and the new model was

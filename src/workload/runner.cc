@@ -1,15 +1,65 @@
 #include "workload/runner.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <thread>
 
 #include "common/latency_recorder.h"
+#include "common/metrics.h"
 #include "common/spinlock.h"
 #include "common/timer.h"
 #include "datasets/dataset.h"
 
 namespace alt {
+
+namespace {
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20) out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out->append(buf);
+}
+
+/// One JSON line of the --metrics_json stream. `result` is null for interval
+/// snapshots (the run is still executing).
+std::string RunJsonLine(const std::string& label, const char* phase,
+                        const RunResult* result, const metrics::Snapshot& delta) {
+  std::string line = "{\"label\":";
+  AppendJsonString(&line, label);
+  line += ",\"phase\":\"";
+  line += phase;
+  line += '"';
+  if (result != nullptr) {
+    line += ",\"throughput_mops\":";
+    AppendDouble(&line, result->throughput_mops);
+    line += ",\"seconds\":";
+    AppendDouble(&line, result->seconds);
+    line += ",\"total_ops\":" + std::to_string(result->total_ops);
+    line += ",\"failed_ops\":" + std::to_string(result->failed_ops);
+    line += ",\"empty_scans\":" + std::to_string(result->empty_scans);
+    line += ",\"p50_ns\":" + std::to_string(result->p50_ns);
+    line += ",\"p99_ns\":" + std::to_string(result->p99_ns);
+    line += ",\"p999_ns\":" + std::to_string(result->p999_ns);
+  }
+  line += ",\"metrics\":";
+  line += metrics::ToJson(delta);
+  line += '}';
+  return line;
+}
+
+}  // namespace
 
 RunResult RunWorkload(ConcurrentIndex* index,
                       const std::vector<std::vector<Op>>& streams,
@@ -19,6 +69,7 @@ RunResult RunWorkload(ConcurrentIndex* index,
   const size_t read_batch = options.read_batch > 0 ? options.read_batch : 1;
   std::vector<LatencyHistogram> hists(static_cast<size_t>(num_threads));
   std::vector<uint64_t> fails(static_cast<size_t>(num_threads), 0);
+  std::vector<uint64_t> empties(static_cast<size_t>(num_threads), 0);
   std::atomic<int> ready{0};
   std::atomic<bool> go{false};
 
@@ -26,6 +77,7 @@ RunResult RunWorkload(ConcurrentIndex* index,
     const auto& stream = streams[static_cast<size_t>(tid)];
     LatencyHistogram& hist = hists[static_cast<size_t>(tid)];
     uint64_t failed = 0;
+    uint64_t empty = 0;
     std::vector<std::pair<Key, Value>> scan_buf;
     // Read-coalescing buffers (read_batch > 1): consecutive kRead ops are
     // collected here and resolved with one LookupBatch call.
@@ -69,7 +121,10 @@ RunResult RunWorkload(ConcurrentIndex* index,
           ok = index->Insert(op.key, ValueFor(op.key));
           break;
         case OpType::kScan:
-          ok = index->Scan(op.key, scan_length, &scan_buf) > 0;
+          // A scan that finds nothing hit the end of the keyspace (every
+          // start key is drawn from the live key space, so there is no
+          // "miss" to report) — count it separately, not as a failure.
+          if (index->Scan(op.key, scan_length, &scan_buf) == 0) ++empty;
           break;
         case OpType::kUpdate:
           ok = index->Update(op.key, ValueFor(op.key) ^ 0x5a5a);
@@ -83,16 +138,48 @@ RunResult RunWorkload(ConcurrentIndex* index,
     }
     if (read_batch > 1) flush_reads();
     fails[static_cast<size_t>(tid)] = failed;
+    empties[static_cast<size_t>(tid)] = empty;
   };
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(num_threads));
   for (int t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
   while (ready.load(std::memory_order_acquire) < num_threads) CpuRelax();
+
+  // Metrics export: scope the process-global registry to this run by diffing
+  // against a baseline taken right before the start barrier opens.
+  const bool export_metrics = !options.metrics_json.empty();
+  const metrics::Snapshot baseline = export_metrics ? metrics::TakeSnapshot()
+                                                    : metrics::Snapshot{};
+  std::vector<std::string> interval_lines;
+  std::atomic<bool> stop_sampler{false};
+  std::thread sampler;
+  if (export_metrics && options.metrics_interval_seconds > 0) {
+    sampler = std::thread([&] {
+      metrics::Snapshot prev = baseline;
+      const auto interval = std::chrono::duration<double>(
+          options.metrics_interval_seconds);
+      auto next_wake = std::chrono::steady_clock::now() + interval;
+      while (!stop_sampler.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        if (std::chrono::steady_clock::now() < next_wake) continue;
+        next_wake += interval;
+        metrics::Snapshot now = metrics::TakeSnapshot();
+        interval_lines.push_back(RunJsonLine(options.metrics_label, "interval",
+                                             nullptr, now.DeltaSince(prev)));
+        prev = std::move(now);
+      }
+    });
+  }
+
   const Stopwatch clock;
   go.store(true, std::memory_order_release);
   for (auto& th : threads) th.join();
   const double seconds = clock.ElapsedSeconds();
+  if (sampler.joinable()) {
+    stop_sampler.store(true, std::memory_order_release);
+    sampler.join();
+  }
 
   RunResult r;
   LatencyHistogram merged;
@@ -100,6 +187,7 @@ RunResult RunWorkload(ConcurrentIndex* index,
     merged.Merge(hists[static_cast<size_t>(t)]);
     r.total_ops += streams[static_cast<size_t>(t)].size();
     r.failed_ops += fails[static_cast<size_t>(t)];
+    r.empty_scans += empties[static_cast<size_t>(t)];
   }
   r.seconds = seconds;
   r.throughput_mops = seconds > 0
@@ -109,6 +197,20 @@ RunResult RunWorkload(ConcurrentIndex* index,
   r.p99_ns = merged.Percentile(0.99);
   r.p999_ns = merged.Percentile(0.999);
   r.mean_ns = merged.MeanNs();
+
+  if (export_metrics) {
+    metrics::SetGauge(metrics::Gauge::kLiveKeys,
+                      static_cast<int64_t>(index->Size()));
+    const metrics::Snapshot delta = metrics::TakeSnapshot().DeltaSince(baseline);
+    std::ofstream out(options.metrics_json, std::ios::app);
+    if (out) {
+      for (const std::string& line : interval_lines) out << line << '\n';
+      out << RunJsonLine(options.metrics_label, "final", &r, delta) << '\n';
+    } else {
+      std::fprintf(stderr, "runner: cannot open metrics_json file '%s'\n",
+                   options.metrics_json.c_str());
+    }
+  }
   return r;
 }
 
@@ -122,6 +224,7 @@ RunResult RunWorkload(ConcurrentIndex* index,
 
 BenchSetup SplitDataset(const std::vector<Key>& keys, double bulk_fraction) {
   BenchSetup setup;
+  if (keys.empty()) return setup;  // nothing to split (and no front() to read)
   if (bulk_fraction < 0.01) bulk_fraction = 0.01;
   if (bulk_fraction > 1.0) bulk_fraction = 1.0;
   // Interleave: of every `period` keys, the first `bulk_per` go to the bulk
@@ -135,7 +238,12 @@ BenchSetup SplitDataset(const std::vector<Key>& keys, double bulk_fraction) {
       setup.pool.push_back(keys[i]);
     }
   }
-  if (setup.loaded.empty()) setup.loaded.push_back(keys.front());
+  if (setup.loaded.empty()) {
+    // Move (not copy) the first key out of the pool: a copy would leave the
+    // key in both sets, and its later pool insert would fail as a duplicate.
+    setup.loaded.push_back(setup.pool.front());
+    setup.pool.erase(setup.pool.begin());
+  }
   return setup;
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/index_interface.h"
@@ -17,7 +18,8 @@ struct RunResult {
   uint64_t p99_ns = 0;
   uint64_t p999_ns = 0;  ///< the paper's P99.9 tail metric
   double mean_ns = 0;
-  uint64_t failed_ops = 0;  ///< reads that missed / duplicate inserts
+  uint64_t failed_ops = 0;   ///< reads that missed / duplicate inserts
+  uint64_t empty_scans = 0;  ///< scans past the last key (not failures)
 };
 
 /// Execution knobs for RunWorkload.
@@ -28,6 +30,15 @@ struct RunOptions {
   /// path. 1 (default) keeps the scalar Lookup path, so existing benchmark
   /// numbers stay comparable. A sampled batch records its mean per-op latency.
   size_t read_batch = 1;
+  /// When non-empty, append one JSON line per emitted snapshot to this file:
+  /// periodic "interval" deltas (if metrics_interval_seconds > 0) while the
+  /// run executes, plus one "final" line with the run result and the metrics
+  /// delta scoped to this run (see common/metrics.h).
+  std::string metrics_json;
+  /// Seconds between interval snapshots; 0 (default) emits only the final one.
+  double metrics_interval_seconds = 0;
+  /// Free-form run label copied into each JSON line (e.g. "ycsb-a/alt/16t").
+  std::string metrics_label;
 };
 
 /// \brief Execute pre-generated per-thread op streams against `index` with

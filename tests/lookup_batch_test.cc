@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/epoch.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "core/alt_index.h"
 #include "datasets/dataset.h"
@@ -162,35 +163,37 @@ TEST_F(LookupBatchTest, DuringInstalledExpansion) {
   ExpectBatchMatchesScalar(index, queries);
 }
 
-TEST_F(LookupBatchTest, StatsAccumulateOnlyWhenEnabled) {
+TEST_F(LookupBatchTest, BatchLookupsFlushMetricsOncePerCall) {
   auto keys = GenerateKeys(Dataset::kOsm, 30000, 29);
   std::vector<Value> vals(keys.size());
   for (size_t i = 0; i < keys.size(); ++i) vals[i] = ValueFor(keys[i]);
 
-  for (bool enabled : {false, true}) {
-    AltOptions opts;
-    opts.enable_stats = enabled;
-    AltIndex index(opts);
-    const size_t half = keys.size() / 2;
-    ASSERT_TRUE(index.BulkLoad(keys.data(), vals.data(), half).ok());
-    for (size_t i = half; i < keys.size(); ++i) {
-      index.Insert(keys[i], ValueFor(keys[i]));
-    }
-    std::vector<Key> queries(keys.begin(), keys.end());
-    std::vector<Value> out(queries.size());
-    std::unique_ptr<bool[]> found(new bool[queries.size()]);
-    index.LookupBatch(queries.data(), queries.size(), out.data(), found.get());
-    const auto st = index.CollectStats();
-    if (enabled) {
-      EXPECT_GT(st.art_lookups, 0u);
-      EXPECT_GT(st.art_lookup_steps, 0u);
-    } else {
-      EXPECT_EQ(st.art_lookups, 0u);
-      EXPECT_EQ(st.art_lookup_steps, 0u);
-      EXPECT_EQ(st.art_root_fallbacks, 0u);
-    }
-    EpochManager::Global().DrainAll();
+  AltIndex index;
+  const size_t half = keys.size() / 2;
+  ASSERT_TRUE(index.BulkLoad(keys.data(), vals.data(), half).ok());
+  for (size_t i = half; i < keys.size(); ++i) {
+    index.Insert(keys[i], ValueFor(keys[i]));
   }
+  std::vector<Key> queries(keys.begin(), keys.end());
+  std::vector<Value> out(queries.size());
+  std::unique_ptr<bool[]> found(new bool[queries.size()]);
+
+  const auto base = metrics::TakeSnapshot();
+  index.LookupBatch(queries.data(), queries.size(), out.data(), found.get());
+  const auto delta = metrics::TakeSnapshot().DeltaSince(base);
+#if !defined(ALT_METRICS_DISABLED)
+  using metrics::Counter;
+  EXPECT_EQ(delta.counter(Counter::kBatchLookups), queries.size());
+  EXPECT_GT(delta.counter(Counter::kArtLookups), 0u);
+  EXPECT_GT(delta.counter(Counter::kArtLookupSteps), 0u);
+  // Every query either resolved in the learned layer, went to ART, or took
+  // the scalar fallback (which does its own per-key accounting).
+  EXPECT_GE(delta.counter(Counter::kLearnedHits) +
+                delta.counter(Counter::kLearnedNegatives) +
+                delta.counter(Counter::kArtLookups) +
+                delta.counter(Counter::kBatchScalarFallbacks),
+            queries.size());
+#endif
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -191,6 +192,86 @@ TEST_F(RetrainingTest, ConcurrentInsertersDuringExpansion) {
   }
   const auto st = index.CollectStats();
   EXPECT_GT(st.retrain_started, 0u);
+}
+
+// Regression: during an in-flight §III-F expansion, Scan and RangeQuery
+// collect the old model and the temporal buffer over the same key range. A key
+// migrating between the two per-slot-atomic collection passes was observed by
+// both and returned twice. Scans racing expansions must return strictly
+// ascending keys with correct values.
+TEST_F(RetrainingTest, ScanDuringRetrainReturnsNoDuplicates) {
+  AltOptions opts;
+  opts.retrain_trigger_ratio = 0.25;
+  AltIndex index(opts);
+  constexpr Key kStride = 8;
+  constexpr Key kBulk = 20000;
+  std::vector<std::pair<Key, Value>> pairs;
+  for (Key k = 0; k < kBulk; ++k) {
+    pairs.emplace_back(k * kStride, ValueFor(k * kStride));
+  }
+  ASSERT_TRUE(index.BulkLoad(pairs).ok());
+
+  constexpr int kInserters = 3;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> bad_order{false};
+  std::atomic<bool> bad_value{false};
+  std::atomic<Key> bad_key{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kInserters; ++t) {
+    threads.emplace_back([&index, &stop, t] {
+      // Thread t cycles insert-all / remove-all over keys congruent to t+1
+      // (mod kStride). Every cycle re-crosses the retrain trigger, so some
+      // model has an in-flight expansion (and keys migrating into its
+      // temporal buffer) for most of the run — the window the scanner needs.
+      while (!stop.load(std::memory_order_acquire)) {
+        for (Key k = 0; k < kBulk; ++k) {
+          const Key key = k * kStride + 1 + static_cast<Key>(t);
+          index.Insert(key, ValueFor(key));
+        }
+        for (Key k = 0; k < kBulk; ++k) {
+          const Key key = k * kStride + 1 + static_cast<Key>(t);
+          index.Remove(key);
+        }
+      }
+    });
+  }
+  std::thread scanner([&] {
+    std::vector<std::pair<Key, Value>> out;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(2000);
+    uint64_t round = 0;
+    while (std::chrono::steady_clock::now() < deadline &&
+           !bad_order.load(std::memory_order_relaxed) &&
+           !bad_value.load(std::memory_order_relaxed)) {
+      const Key start = (round * 977) % (kBulk * kStride);
+      if ((round & 1) == 0) {
+        index.Scan(start, 256, &out);
+      } else {
+        index.RangeQuery(start, start + 256 * kStride, &out);
+      }
+      for (size_t i = 0; i < out.size(); ++i) {
+        if (i > 0 && out[i].first <= out[i - 1].first) {
+          bad_order.store(true);
+          bad_key.store(out[i].first);
+        }
+        if (out[i].second != ValueFor(out[i].first)) {
+          bad_value.store(true);
+          bad_key.store(out[i].first);
+        }
+      }
+      ++round;
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  scanner.join();
+  for (auto& th : threads) th.join();
+
+  EXPECT_FALSE(bad_order.load())
+      << "scan returned a duplicate/unordered key " << bad_key.load();
+  EXPECT_FALSE(bad_value.load()) << "scan returned a torn value for key "
+                                 << bad_key.load();
+  EXPECT_GT(index.CollectStats().retrain_started, 0u)
+      << "workload never triggered an expansion; the race was not exercised";
 }
 
 }  // namespace
