@@ -1,10 +1,12 @@
 #include "bench_common.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
 
 #include "common/epoch.h"
+#include "common/trace.h"
 #include "datasets/sosd_loader.h"
 
 namespace alt {
@@ -59,6 +61,14 @@ BenchConfig BenchConfig::Parse(int argc, char** argv) {
     } else if (!std::strcmp(a, "--metrics_interval") ||
                !std::strcmp(a, "--metrics-interval")) {
       cfg.metrics_interval = std::atof(next(i));
+    } else if (!std::strcmp(a, "--trace_json") || !std::strcmp(a, "--trace-json")) {
+      cfg.trace_json = next(i);
+    } else if (!std::strcmp(a, "--dump_structure") ||
+               !std::strcmp(a, "--dump-structure")) {
+      cfg.dump_structure = next(i);
+    } else if (!std::strcmp(a, "--path_breakdown") ||
+               !std::strcmp(a, "--path-breakdown")) {
+      cfg.path_breakdown = true;
     } else if (!std::strcmp(a, "--datasets")) {
       cfg.datasets.clear();
       for (const auto& name : SplitCsv(next(i))) {
@@ -76,7 +86,8 @@ BenchConfig BenchConfig::Parse(int argc, char** argv) {
           "flags: --keys N --threads T --ops N --bulk-fraction F "
           "--zipf-theta F --scan-length N --read_batch N --seed N "
           "--datasets a,b --indexes a,b --dataset-file PATH "
-          "--metrics_json PATH --metrics_interval S\n"
+          "--metrics_json PATH --metrics_interval S "
+          "--trace_json PATH --dump_structure PATH|- --path_breakdown\n"
           "env: ALT_BENCH_SCALE=K multiplies --keys and --ops\n");
       std::exit(0);
     } else {
@@ -92,10 +103,14 @@ BenchConfig BenchConfig::Parse(int argc, char** argv) {
           static_cast<size_t>(static_cast<double>(cfg.ops_per_thread) * scale);
     }
   }
+  // Arm the flight recorder as early as possible so key generation and bulk
+  // load are captured too, not just the timed run.
+  if (!cfg.trace_json.empty()) trace::SetEnabled(true);
   return cfg;
 }
 
 std::vector<Key> LoadKeys(const BenchConfig& cfg, Dataset d) {
+  trace::Span span("load_keys", "bench", cfg.keys);
   if (!cfg.dataset_file.empty()) {
     std::vector<Key> keys;
     const Status st = LoadSosdFile(cfg.dataset_file, cfg.keys, &keys);
@@ -111,6 +126,7 @@ std::vector<Key> LoadKeys(const BenchConfig& cfg, Dataset d) {
 
 BenchSetup LoadIndex(ConcurrentIndex* index, const std::vector<Key>& keys,
                      double bulk_fraction) {
+  trace::Span span("load_index", "bench", keys.size());
   BenchSetup setup = SplitDataset(keys, bulk_fraction);
   std::vector<Value> values(setup.loaded.size());
   for (size_t i = 0; i < setup.loaded.size(); ++i) {
@@ -147,12 +163,37 @@ RunResult RunOne(const BenchConfig& cfg, const std::string& index_name,
   run_opts.read_batch = cfg.read_batch;
   run_opts.metrics_json = cfg.metrics_json;
   run_opts.metrics_interval_seconds = cfg.metrics_interval;
+  run_opts.path_breakdown = cfg.path_breakdown;
   run_opts.metrics_label = index_name;
   run_opts.metrics_label += '/';
   run_opts.metrics_label += WorkloadName(workload);
   run_opts.metrics_label += '/';
   run_opts.metrics_label += std::to_string(cfg.threads) + "t";
   const RunResult r = RunWorkload(index.get(), streams, run_opts);
+  if (cfg.path_breakdown) PrintPathBreakdown(r);
+  if (!cfg.dump_structure.empty()) {
+    const std::string report = index->StructureJson();
+    if (cfg.dump_structure == "-") {
+      std::fwrite(report.data(), 1, report.size(), stdout);
+    } else {
+      std::FILE* f = std::fopen(cfg.dump_structure.c_str(), "a");
+      if (f != nullptr) {
+        std::fwrite(report.data(), 1, report.size(), f);
+        std::fclose(f);
+      } else {
+        std::fprintf(stderr, "cannot open dump_structure file '%s'\n",
+                     cfg.dump_structure.c_str());
+      }
+    }
+  }
+  if (!cfg.trace_json.empty()) {
+    // Rewrite the cumulative trace after every run so a partial bench sweep
+    // still leaves a loadable document behind.
+    if (!trace::WriteChromeTrace(cfg.trace_json)) {
+      std::fprintf(stderr, "cannot write trace_json file '%s'\n",
+                   cfg.trace_json.c_str());
+    }
+  }
   index.reset();
   EpochManager::Global().DrainAll();
   return r;

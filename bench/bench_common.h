@@ -40,6 +40,18 @@ struct BenchConfig {
   /// `--metrics_interval S`: seconds between interval snapshots within a run
   /// (0 = final snapshot only).
   double metrics_interval = 0;
+  /// `--trace_json PATH`: enable the flight recorder (common/trace.h) for the
+  /// whole process and write a Chrome trace-event JSON file (loadable in
+  /// Perfetto / chrome://tracing) on exit of each RunOne. Empty = disabled.
+  /// With ALT_TRACING=OFF builds the file still appears but holds no events.
+  std::string trace_json;
+  /// `--dump_structure PATH`: after each run, append the index's structural
+  /// JSON report (memory decomposition, segment/occupancy histograms, ART
+  /// census; see AltIndex::StructureJson) to PATH. "-" = stdout.
+  std::string dump_structure;
+  /// `--path_breakdown`: collect per-(op × serving path) latency attribution
+  /// and print the breakdown table after each run.
+  bool path_breakdown = false;
 
   static BenchConfig Parse(int argc, char** argv);
 };

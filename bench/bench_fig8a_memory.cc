@@ -1,6 +1,13 @@
 // Reproduces Fig. 8(a): memory overhead per index after bulk-loading half of
 // each dataset and inserting the rest. Expected shape: ALEX+ smallest,
 // ALT-index next (less than the delta-buffer designs), LIPP+ largest.
+//
+// The figure now decomposes each total into the components behind it
+// (CollectMemoryBreakdown, DESIGN.md §9.3): learned models / inner nodes,
+// delta structures (ALT's conflict ART + in-flight expansions), and auxiliary
+// metadata (fast pointers, directories, headers). Baselines without a
+// structural walker land in "other". Pass --dump_structure PATH|- for the
+// full JSON report (segment/occupancy histograms, ART node census).
 #include "bench_common.h"
 #include "common/epoch.h"
 
@@ -10,7 +17,8 @@ using namespace alt::bench;
 int main(int argc, char** argv) {
   BenchConfig cfg = BenchConfig::Parse(argc, argv);
   PrintHeader("Fig. 8(a): memory overhead (bytes/key) after load + insert-all",
-              {"Index", "Dataset", "MB", "bytes/key"});
+              {"Index", "Dataset", "MB", "bytes/key", "model%", "delta%",
+               "aux%", "other%"});
   for (const auto& name : cfg.indexes) {
     for (Dataset d : cfg.datasets) {
       const auto keys = LoadKeys(cfg, d);
@@ -18,9 +26,29 @@ int main(int argc, char** argv) {
       const BenchSetup setup = LoadIndex(index.get(), keys, cfg.bulk_fraction);
       for (Key k : setup.pool) index->Insert(k, ValueFor(k));
       const size_t bytes = index->MemoryUsage();
+      const ConcurrentIndex::MemoryBreakdown mb = index->CollectMemoryBreakdown();
+      const double total =
+          mb.total() > 0 ? static_cast<double>(mb.total()) : 1.0;
+      auto pct = [&](size_t part) {
+        return Fmt(100.0 * static_cast<double>(part) / total, 1);
+      };
       PrintRow({index->Name(), DatasetName(d),
                 Fmt(static_cast<double>(bytes) / 1048576.0),
-                Fmt(static_cast<double>(bytes) / static_cast<double>(keys.size()), 1)});
+                Fmt(static_cast<double>(bytes) / static_cast<double>(keys.size()), 1),
+                pct(mb.model_bytes), pct(mb.delta_bytes),
+                pct(mb.auxiliary_bytes), pct(mb.other_bytes)});
+      if (!cfg.dump_structure.empty()) {
+        const std::string report = index->StructureJson();
+        if (cfg.dump_structure == "-") {
+          std::fwrite(report.data(), 1, report.size(), stdout);
+        } else {
+          std::FILE* f = std::fopen(cfg.dump_structure.c_str(), "a");
+          if (f != nullptr) {
+            std::fwrite(report.data(), 1, report.size(), f);
+            std::fclose(f);
+          }
+        }
+      }
       index.reset();
       EpochManager::Global().DrainAll();
     }

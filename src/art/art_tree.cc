@@ -1104,5 +1104,40 @@ ArtTree::Stats ArtTree::CollectStats() const {
   return s;
 }
 
+namespace {
+void CollectCensusRec(const Node* n, size_t inner_depth, ArtTree::Census* c) {
+  if (IsLeaf(n)) {
+    c->leaves++;
+    c->leaf_bytes += sizeof(Leaf);
+    c->total_bytes += sizeof(Leaf);
+    const size_t d = inner_depth <= kKeyBytes ? inner_depth : kKeyBytes;
+    c->depth_hist[d]++;
+    if (inner_depth > c->height) c->height = inner_depth;
+    return;
+  }
+  const size_t t = static_cast<size_t>(n->type);
+  c->nodes[t]++;
+  c->node_bytes[t] += NodeBytes(n->type);
+  c->total_bytes += NodeBytes(n->type);
+  const size_t plen = n->prefix_len.load(std::memory_order_relaxed);
+  if (plen > 0) {
+    c->compressed_nodes++;
+    c->prefix_bytes += plen;
+  }
+  uint8_t bytes[256];
+  Node* children[256];
+  const int cnt = CollectEntries(n, bytes, children);
+  for (int i = 0; i < cnt; ++i) CollectCensusRec(children[i], inner_depth + 1, c);
+}
+}  // namespace
+
+ArtTree::Census ArtTree::CollectCensus() const {
+  Census c;
+  // Depth convention matches CollectStats: the root counts as depth 0, so a
+  // leaf's depth equals the number of inner nodes on its root→leaf path.
+  CollectCensusRec(root_, 0, &c);
+  return c;
+}
+
 }  // namespace art
 }  // namespace alt

@@ -149,6 +149,27 @@ class ArtTree {
   };
   Stats CollectStats() const;
 
+  /// \brief Extended structural census (quiescent-only traversal) for the
+  /// flight-recorder introspection layer (DESIGN.md §9.3): memory by node
+  /// type, leaf-depth distribution, and path-compression savings — the
+  /// decomposition behind the Fig. 8a memory curve.
+  struct Census {
+    size_t nodes[4] = {};       ///< inner-node count, indexed by NodeType
+    size_t node_bytes[4] = {};  ///< inner-node bytes, indexed by NodeType
+    size_t leaves = 0;
+    size_t leaf_bytes = 0;
+    /// Leaves by root→leaf path length in *inner nodes* (index clamped to
+    /// kKeyBytes). With path compression a leaf sits at most kKeyBytes deep.
+    size_t depth_hist[kKeyBytes + 1] = {};
+    size_t height = 0;            ///< max inner nodes on any root→leaf path
+    size_t compressed_nodes = 0;  ///< inner nodes carrying a non-empty prefix
+    /// Total compressed-prefix bytes. Each byte is one single-child level the
+    /// tree did not materialize (≈ one Node4 of savings per byte).
+    size_t prefix_bytes = 0;
+    size_t total_bytes = 0;  ///< == CollectStats().bytes
+  };
+  Census CollectCensus() const;
+
   /// Total bytes of nodes + leaves (quiescent-only).
   size_t MemoryUsage() const { return CollectStats().bytes; }
 

@@ -25,6 +25,28 @@ class AltIndexAdapter : public ConcurrentIndex {
   bool Insert(Key key, Value value) override { return index_->Insert(key, value); }
   bool Update(Key key, Value value) override { return index_->Update(key, value); }
   bool Remove(Key key) override { return index_->Remove(key); }
+  bool LookupServed(Key key, Value* out, ServedBy* served) override {
+    return index_->Lookup(key, out, served);
+  }
+  bool InsertServed(Key key, Value value, ServedBy* served) override {
+    return index_->Insert(key, value, served);
+  }
+  bool UpdateServed(Key key, Value value, ServedBy* served) override {
+    return index_->Update(key, value, served);
+  }
+  bool RemoveServed(Key key, ServedBy* served) override {
+    return index_->Remove(key, served);
+  }
+  MemoryBreakdown CollectMemoryBreakdown() const override {
+    const AltIndex::StructuralStats st = index_->CollectStructuralStats();
+    MemoryBreakdown b;
+    b.model_bytes = st.model_bytes;
+    b.delta_bytes = st.art_bytes + st.expansion_bytes;
+    b.auxiliary_bytes =
+        st.fast_pointer_bytes + st.directory_bytes + st.header_bytes;
+    return b;
+  }
+  std::string StructureJson() const override { return index_->StructureJson(); }
   size_t Scan(Key start, size_t count,
               std::vector<std::pair<Key, Value>>* out) override {
     return index_->Scan(start, count, out);

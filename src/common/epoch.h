@@ -7,6 +7,7 @@
 #include "common/debug_checks.h"
 #include "common/spinlock.h"
 #include "common/thread_annotations.h"
+#include "common/trace.h"
 
 namespace alt {
 
@@ -100,6 +101,8 @@ class EpochManager {
   /// read-side section (e.g. between benchmark phases, in destructors of the
   /// last live index, or single-threaded tests).
   void DrainAll() {
+    trace::Span span("epoch_drain", "epoch");
+    uint64_t freed = 0;
     global_epoch_.fetch_add(1, std::memory_order_acq_rel);
     SpinLockGuard lg(registry_mutex_);
     for (ThreadState* ts : registry_) {
@@ -108,8 +111,10 @@ class EpochManager {
         SpinLockGuard il(ts->retired_lock);
         items.swap(ts->retired);
       }
+      freed += items.size();
       for (auto& r : items) r.del(r.p);
     }
+    span.set_detail(freed);
   }
 
   uint64_t GlobalEpoch() const { return global_epoch_.load(std::memory_order_acquire); }
@@ -227,6 +232,7 @@ class EpochManager {
   }
 
   void AdvanceAndCollect(ThreadState& ts) {
+    trace::Span span("epoch_advance", "epoch");
     global_epoch_.fetch_add(1, std::memory_order_acq_rel);
     uint64_t min_pinned = MinPinnedEpoch();
     std::vector<Retired> free_now;
@@ -244,6 +250,7 @@ class EpochManager {
       }
       v.resize(w);
     }
+    span.set_detail(free_now.size());
     for (auto& r : free_now) r.del(r.p);
   }
 

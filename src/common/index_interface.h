@@ -5,7 +5,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/json.h"
 #include "common/key_codec.h"
+#include "common/path_tag.h"
 #include "common/status.h"
 
 namespace alt {
@@ -50,6 +52,64 @@ class ConcurrentIndex {
 
   /// \return true if the key was present.
   virtual bool Remove(Key key) = 0;
+
+  // -- Path attribution (observability, DESIGN.md §9.2) ---------------------
+  //
+  // ServedBy-reporting variants of the four point operations. Indexes with
+  // internal path structure (ALT-index: learned slot vs ART-OPT vs fast
+  // pointer vs expansion) override these to tag each op with the terminal
+  // path that served it; the defaults delegate to the plain operation and
+  // report kUnattributed, so baselines need no changes and the runner can
+  // call the Served variants unconditionally.
+
+  virtual bool LookupServed(Key key, Value* out, ServedBy* served) {
+    SetServed(served, ServedBy::kUnattributed);
+    return Lookup(key, out);
+  }
+  virtual bool InsertServed(Key key, Value value, ServedBy* served) {
+    SetServed(served, ServedBy::kUnattributed);
+    return Insert(key, value);
+  }
+  virtual bool UpdateServed(Key key, Value value, ServedBy* served) {
+    SetServed(served, ServedBy::kUnattributed);
+    return Update(key, value);
+  }
+  virtual bool RemoveServed(Key key, ServedBy* served) {
+    SetServed(served, ServedBy::kUnattributed);
+    return Remove(key);
+  }
+
+  // -- Structural introspection (observability, DESIGN.md §9.3) -------------
+
+  /// Coarse memory decomposition for figures that break MemoryUsage() down by
+  /// component. Indexes that can't decompose report everything under `other`.
+  struct MemoryBreakdown {
+    size_t model_bytes = 0;      ///< learned models / inner nodes
+    size_t delta_bytes = 0;      ///< conflict tree, delta buffers, expansions
+    size_t auxiliary_bytes = 0;  ///< fast pointers, directories, headers
+    size_t other_bytes = 0;      ///< anything unclassified
+    size_t total() const {
+      return model_bytes + delta_bytes + auxiliary_bytes + other_bytes;
+    }
+  };
+
+  /// Default: everything is unclassified, totals still match MemoryUsage().
+  virtual MemoryBreakdown CollectMemoryBreakdown() const {
+    MemoryBreakdown b;
+    b.other_bytes = MemoryUsage();
+    return b;
+  }
+
+  /// JSON structural report (--dump_structure). Indexes without structural
+  /// walkers report only their name and footprint.
+  virtual std::string StructureJson() const {
+    std::string out = "{\n  \"name\": \"";
+    out += JsonEscape(Name());
+    out += "\",\n  \"memory\": {\n    \"total_bytes\": ";
+    out += std::to_string(MemoryUsage());
+    out += "\n  }\n}\n";
+    return out;
+  }
 
   /// Up to `count` pairs with key >= start, ascending. \return pairs written.
   virtual size_t Scan(Key start, size_t count,

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+
+namespace alt {
+
+/// \brief Escape `s` for inclusion inside a JSON string literal (RFC 8259):
+/// `"` and `\` are backslash-escaped, control characters below 0x20 become
+/// `\uXXXX` (with the common short forms `\n` `\t` `\r` `\b` `\f`). The result
+/// does NOT include the surrounding quotes.
+///
+/// Every hand-built JSON emitter in the repo (runner metrics lines, metrics
+/// registry export, trace export, structural reports) must route free-form
+/// strings — labels, phases, dataset names — through this helper; only
+/// compile-time constant names may be emitted raw.
+std::string JsonEscape(const std::string& s);
+
+/// Append `"` + JsonEscape(s) + `"` to *out (the common emit pattern).
+void AppendJsonQuoted(const std::string& s, std::string* out);
+
+}  // namespace alt

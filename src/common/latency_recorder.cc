@@ -38,6 +38,10 @@ void LatencyHistogram::Merge(const LatencyHistogram& other) {
   sum_ns_ += other.sum_ns_;
 }
 
+uint64_t LatencyHistogram::BucketLowerNs(int b) {
+  return b == 0 ? 0 : BucketUpperNs(b - 1) + 1;
+}
+
 uint64_t LatencyHistogram::Percentile(double q) const {
   if (total_ == 0) return 0;
   if (q < 0.0) q = 0.0;
@@ -45,8 +49,22 @@ uint64_t LatencyHistogram::Percentile(double q) const {
   const uint64_t target = static_cast<uint64_t>(std::ceil(q * static_cast<double>(total_)));
   uint64_t seen = 0;
   for (int i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (seen + buckets_[i] >= target) {
+      // Linear interpolation within the bucket: assume the bucket's samples
+      // are spread uniformly over [lower, upper] and return the rank'th of
+      // them. The last sample of a bucket still maps to its upper bound, so
+      // the sub-16ns buckets (width 1) stay exact and a ~halved worst-case
+      // error replaces the old always-return-upper-bound bias elsewhere.
+      const uint64_t lower = BucketLowerNs(i);
+      const uint64_t upper = BucketUpperNs(i);
+      const uint64_t rank = target - seen;  // in [1, buckets_[i]]
+      const double frac =
+          static_cast<double>(rank) / static_cast<double>(buckets_[i]);
+      return lower + static_cast<uint64_t>(
+                         static_cast<double>(upper - lower) * frac + 0.5);
+    }
     seen += buckets_[i];
-    if (seen >= target && buckets_[i] > 0) return BucketUpperNs(i);
   }
   return BucketUpperNs(kBuckets - 1);
 }

@@ -1,7 +1,10 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
+
+#include "common/random.h"
 
 namespace alt {
 
@@ -33,6 +36,7 @@ class LatencyHistogram {
   static constexpr int kBuckets = 512;
   static int BucketFor(uint64_t ns);
   static uint64_t BucketUpperNs(int b);
+  static uint64_t BucketLowerNs(int b);
 
   std::vector<uint64_t> buckets_;
   uint64_t total_ = 0;
@@ -44,9 +48,22 @@ class LatencyHistogram {
 /// Timing every op doubles the cost of a 100ns index lookup; we time one op in
 /// `sample_every` (default 16) which leaves tail estimates intact for the op
 /// volumes used here.
+///
+/// Sampling phase: if every thread started its modular counter at 0, all
+/// threads would time ops 0, 16, 32, ... in lockstep — phase-locked with any
+/// periodic behavior that is itself synchronized across threads (epoch
+/// advances every kAdvanceInterval retires, batched flushes, warmup
+/// boundaries), silently over- or under-representing those ops in the tail.
+/// Each recorder therefore starts at a pseudo-random phase derived from a
+/// process-wide instance counter via Mix64, so concurrent threads sample
+/// de-correlated op indices while the 1-in-`sample_every` rate is unchanged.
 class LatencyRecorder {
  public:
-  explicit LatencyRecorder(uint32_t sample_every = 16) : sample_every_(sample_every) {}
+  explicit LatencyRecorder(uint32_t sample_every = 16)
+      : sample_every_(sample_every),
+        counter_(sample_every > 1
+                     ? static_cast<uint32_t>(Mix64(NextInstanceId()) % sample_every)
+                     : 0) {}
 
   /// \return true if the caller should time this operation.
   bool ShouldSample() { return (counter_++ % sample_every_) == 0; }
@@ -57,8 +74,13 @@ class LatencyRecorder {
   LatencyHistogram& histogram() { return hist_; }
 
  private:
+  static uint64_t NextInstanceId() {
+    static std::atomic<uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+  }
+
   uint32_t sample_every_;
-  uint32_t counter_ = 0;
+  uint32_t counter_;
   LatencyHistogram hist_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/json.h"
 #include "common/timer.h"
 
 namespace alt {
@@ -156,9 +157,10 @@ std::string ToJson(const Snapshot& s) {
   out += ",\"counters\":{";
   for (size_t i = 0; i < kNumCounters; ++i) {
     if (i != 0) out += ',';
-    out += '"';
-    out += CounterName(static_cast<Counter>(i));
-    out += "\":";
+    // Names are static identifiers today, but route them through the shared
+    // escaper anyway so a future name can never corrupt the document.
+    AppendJsonQuoted(CounterName(static_cast<Counter>(i)), &out);
+    out += ':';
     AppendU64(&out, s.counters[i]);
   }
   out += "},\"fp_hit_depth\":[";
@@ -169,18 +171,17 @@ std::string ToJson(const Snapshot& s) {
   out += "],\"gauges\":{";
   for (size_t i = 0; i < kNumGauges; ++i) {
     if (i != 0) out += ',';
-    out += '"';
-    out += GaugeName(static_cast<Gauge>(i));
-    out += "\":";
+    AppendJsonQuoted(GaugeName(static_cast<Gauge>(i)), &out);
+    out += ':';
     AppendI64(&out, s.gauges[i]);
   }
   out += "},\"events\":[";
   for (size_t i = 0; i < s.events.size(); ++i) {
     const Event& e = s.events[i];
     if (i != 0) out += ',';
-    out += "{\"type\":\"";
-    out += EventTypeName(e.type);
-    out += "\",\"at_ns\":";
+    out += "{\"type\":";
+    AppendJsonQuoted(EventTypeName(e.type), &out);
+    out += ",\"at_ns\":";
     AppendU64(&out, e.at_ns);
     out += ",\"duration_ns\":";
     AppendU64(&out, e.duration_ns);

@@ -7,6 +7,7 @@
 #include "common/epoch.h"
 #include "common/metrics.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "core/gpl.h"
 
 namespace alt {
@@ -49,13 +50,15 @@ void DedupeSortedTail(std::vector<std::pair<Key, Value>>* v, size_t begin) {
 }
 
 // Terminal accounting for lookups the learned layer answers by itself.
-inline bool FinishLearnedHit() {
+inline bool FinishLearnedHit(ServedBy* served) {
   metrics::Inc(Counter::kLearnedHits);
+  SetServed(served, ServedBy::kLearnedSlot);
   return true;
 }
 
-inline bool FinishLearnedNegative() {
+inline bool FinishLearnedNegative(ServedBy* served) {
   metrics::Inc(Counter::kLearnedNegatives);
+  SetServed(served, ServedBy::kLearnedNegative);
   return false;
 }
 
@@ -83,6 +86,7 @@ Status AltIndex::BulkLoad(const std::vector<std::pair<Key, Value>>& sorted_pairs
 
 Status AltIndex::BulkLoad(const Key* keys, const Value* values, size_t n) {
   const Stopwatch load_clock;
+  trace::Span span("bulk_load", "build", n);
   if (directory_.NumModels() != 0) {
     return Status::InvalidArgument("BulkLoad may only run once");
   }
@@ -211,7 +215,8 @@ AltIndex::Probe AltIndex::ProbeSlot(const GplModel* model, Key key, Value* out,
   return Probe::kEmpty;
 }
 
-bool AltIndex::ArtLookup(const GplModel* model, Key key, Value* out) const {
+bool AltIndex::ArtLookup(const GplModel* model, Key key, Value* out,
+                         ServedBy* served) const {
   int steps = 0;
   bool found = false;
   bool used_hint = false;
@@ -225,15 +230,20 @@ bool AltIndex::ArtLookup(const GplModel* model, Key key, Value* out) const {
         found = true;
         metrics::Inc(Counter::kFastPointerHits);
         metrics::FpDepthHit(ref.depth);
+        SetServed(served, FpDepthTag(ref.depth));
       } else {
         // Miss within the hinted subtree is not authoritative under races
         // (an SMO may have momentarily moved the key above the hint).
         metrics::Inc(Counter::kArtRootFallbacks);
         found = art_.Lookup(key, out, &steps);
+        SetServed(served, found ? ServedBy::kArtRoot : ServedBy::kArtNegative);
       }
     }
   }
-  if (!used_hint) found = art_.Lookup(key, out, &steps);
+  if (!used_hint) {
+    found = art_.Lookup(key, out, &steps);
+    SetServed(served, found ? ServedBy::kArtRoot : ServedBy::kArtNegative);
+  }
   metrics::Inc(Counter::kArtLookups);
   metrics::Inc(Counter::kArtLookupSteps, static_cast<uint64_t>(steps));
   return found;
@@ -268,7 +278,12 @@ bool AltIndex::Lookup(Key key, Value* out) const {
   return LookupInternal(key, out);
 }
 
-bool AltIndex::LookupInternal(Key key, Value* out) const {
+bool AltIndex::Lookup(Key key, Value* out, ServedBy* served) const {
+  EpochGuard g;
+  return LookupInternal(key, out, served);
+}
+
+bool AltIndex::LookupInternal(Key key, Value* out, ServedBy* served) const {
   ALT_ASSERT_EPOCH_PINNED("AltIndex::LookupInternal");
   for (;;) {
     const ModelDirectory::Snapshot* snap = directory_.snapshot();
@@ -279,17 +294,17 @@ bool AltIndex::LookupInternal(Key key, Value* out) const {
     const GplSlot* slot = nullptr;
     uint32_t word = 0;
     Probe p = ProbeSlot(model, key, out, &slot, &word);
-    if (p == Probe::kHit) return FinishLearnedHit();
+    if (p == Probe::kHit) return FinishLearnedHit(served);
 
     if (slot == nullptr && exp != nullptr) {
       // Coverage gap (§III-F): the temporal buffer spans slightly more key
       // space than the old model (span grows by half a slot), so during an
       // expansion a key beyond the old coverage may live in a temporal slot.
       p = ProbeSlot(exp->new_model, key, out, &slot, &word);
-      if (p == Probe::kHit) return FinishLearnedHit();
+      if (p == Probe::kHit) return FinishLearnedHit(served);
       if (p == Probe::kMigrated) continue;  // stale snapshot: re-route
       if (p == Probe::kEmpty && exp->new_model->strict_empty()) {
-        return FinishLearnedNegative();
+        return FinishLearnedNegative(served);
       }
       // Otherwise fall through to ART with the temporal slot as the routed
       // slot (or none if the key is beyond the temporal coverage too).
@@ -297,31 +312,31 @@ bool AltIndex::LookupInternal(Key key, Value* out) const {
       if (exp == nullptr) {
         // Zero-error invariant: an EMPTY predicted slot proves absence —
         // unless the model's invariant is suspended (fresh tail model).
-        if (model->strict_empty()) return FinishLearnedNegative();
+        if (model->strict_empty()) return FinishLearnedNegative(served);
       } else {
         // §III-F: new inserts land in the temporal buffer.
         p = ProbeSlot(exp->new_model, key, out, &slot, &word);
-        if (p == Probe::kHit) return FinishLearnedHit();
+        if (p == Probe::kHit) return FinishLearnedHit(served);
         if (p == Probe::kMigrated) continue;  // stale snapshot: re-route
         if (p == Probe::kEmpty && exp->new_model->strict_empty()) {
-          return FinishLearnedNegative();
+          return FinishLearnedNegative(served);
         }
         // Pre-sweep temporal slot: fall through to ART.
       }
     } else if (p == Probe::kMigrated) {
       p = ProbeSlot(exp != nullptr ? exp->new_model : model, key, out, &slot,
                     &word);
-      if (p == Probe::kHit) return FinishLearnedHit();
+      if (p == Probe::kHit) return FinishLearnedHit(served);
       if (p == Probe::kMigrated) continue;  // stale snapshot: re-route
       if (p == Probe::kEmpty &&
           (exp == nullptr || exp->new_model->strict_empty())) {
-        return FinishLearnedNegative();
+        return FinishLearnedNegative(served);
       }
     }
 
     // Secondary search in ART-OPT (replaces error-correction, §III-A).
     Value art_value = 0;
-    if (ArtLookup(model, key, &art_value)) {
+    if (ArtLookup(model, key, &art_value, served)) {
       if (out != nullptr) *out = art_value;
       // Write-back scheme (Alg. 2 lines 10-13): a tombstoned predicted slot
       // re-adopts its key from ART. Skipped during expansion (§III-F owns
@@ -371,6 +386,11 @@ bool AltIndex::Insert(Key key, Value value) {
   return InsertInternal(key, value);
 }
 
+bool AltIndex::Insert(Key key, Value value, ServedBy* served) {
+  EpochGuard g;
+  return InsertInternal(key, value, served);
+}
+
 bool AltIndex::Upsert(Key key, Value value) {
   EpochGuard g;
   for (;;) {
@@ -380,7 +400,7 @@ bool AltIndex::Upsert(Key key, Value value) {
   }
 }
 
-bool AltIndex::InsertInternal(Key key, Value value) {
+bool AltIndex::InsertInternal(Key key, Value value, ServedBy* served) {
   ALT_ASSERT_EPOCH_PINNED("AltIndex::InsertInternal");
   for (;;) {
     const ModelDirectory::Snapshot* snap = directory_.snapshot();
@@ -392,11 +412,13 @@ bool AltIndex::InsertInternal(Key key, Value value) {
       bool retry = false;
       const bool ok = InsertExpanding(model, exp, key, value, &retry);
       if (retry) continue;
+      SetServed(served, ServedBy::kExpansionPath);
       return ok;
     }
 
     if (key >= model->coverage_end()) {
       // Out-of-coverage keys live exclusively in ART (no slot state).
+      SetServed(served, ServedBy::kConflictInsert);
       if (!ArtInsert(model, key, value)) return false;
       size_.fetch_add(1, std::memory_order_relaxed);
       model->BumpInsertCount();
@@ -416,6 +438,7 @@ bool AltIndex::InsertInternal(Key key, Value value) {
           Value existing = 0;
           if (ArtLookup(model, key, &existing)) {
             if (!s.word.Validate(w)) continue;
+            SetServed(served, ServedBy::kArtRoot);
             return false;  // exists in ART
           }
           if (!s.word.Validate(w)) continue;
@@ -443,13 +466,18 @@ bool AltIndex::InsertInternal(Key key, Value value) {
         size_.fetch_add(1, std::memory_order_relaxed);
         model->BumpInsertCount();
         MaybeTriggerExpansion(model);
+        SetServed(served, ServedBy::kSlotInsert);
         return true;
       }
       case SlotState::kOccupied: {
         const Key k = s.OptimisticKey();
         if (!s.word.Validate(w)) continue;
-        if (k == key) return false;  // exists in place
+        if (k == key) {
+          SetServed(served, ServedBy::kLearnedSlot);
+          return false;  // exists in place
+        }
         // Conflict: the key belongs in ART-OPT.
+        SetServed(served, ServedBy::kConflictInsert);
         if (ArtInsert(model, key, value)) {
           size_.fetch_add(1, std::memory_order_relaxed);
           model->BumpInsertCount();
@@ -462,6 +490,7 @@ bool AltIndex::InsertInternal(Key key, Value value) {
       case SlotState::kTombstone: {
         // Tombstone inserts route to ART (ART's insert is atomic w.r.t.
         // duplicates; writing in place here would race the write-back).
+        SetServed(served, ServedBy::kConflictInsert);
         if (ArtInsert(model, key, value)) {
           size_.fetch_add(1, std::memory_order_relaxed);
           model->BumpInsertCount();
@@ -652,7 +681,12 @@ bool AltIndex::Update(Key key, Value value) {
   return UpdateInternal(key, value);
 }
 
-bool AltIndex::UpdateInternal(Key key, Value value) {
+bool AltIndex::Update(Key key, Value value, ServedBy* served) {
+  EpochGuard g;
+  return UpdateInternal(key, value, served);
+}
+
+bool AltIndex::UpdateInternal(Key key, Value value, ServedBy* served) {
   ALT_ASSERT_EPOCH_PINNED("AltIndex::UpdateInternal");
   for (;;) {
     const ModelDirectory::Snapshot* snap = directory_.snapshot();
@@ -692,6 +726,7 @@ bool AltIndex::UpdateInternal(Key key, Value value) {
             }
             s.value.store(value, std::memory_order_relaxed);
             s.word.Unlock(lw, SlotState::kOccupied);
+            SetServed(served, ServedBy::kLearnedSlot);
             return true;
           }
           routed_slot = &s;
@@ -708,7 +743,10 @@ bool AltIndex::UpdateInternal(Key key, Value value) {
         if (st == SlotState::kMigrated) break;  // consult next target
         // kEmpty:
         if (t == model && exp != nullptr) break;  // check temporal buffer
-        if (t->strict_empty()) return false;  // authoritative absence
+        if (t->strict_empty()) {
+          SetServed(served, ServedBy::kLearnedNegative);
+          return false;  // authoritative absence
+        }
         routed_slot = &s;
         routed_word = w;
         decided = true;
@@ -718,7 +756,10 @@ bool AltIndex::UpdateInternal(Key key, Value value) {
 
     if (!decided) continue;  // slot changed underneath or all-migrated: retry
 
-    if (art_.Update(key, value)) return true;
+    if (art_.Update(key, value)) {
+      SetServed(served, ServedBy::kArtRoot);
+      return true;
+    }
     if (routed_slot != nullptr) {
       if (!routed_slot->word.Validate(routed_word)) continue;
     } else {
@@ -728,6 +769,7 @@ bool AltIndex::UpdateInternal(Key key, Value value) {
         continue;  // routing changed (tail appended); retry
       }
     }
+    SetServed(served, ServedBy::kArtNegative);
     return false;
   }
 }
@@ -737,7 +779,12 @@ bool AltIndex::Remove(Key key) {
   return RemoveInternal(key);
 }
 
-bool AltIndex::RemoveInternal(Key key) {
+bool AltIndex::Remove(Key key, ServedBy* served) {
+  EpochGuard g;
+  return RemoveInternal(key, served);
+}
+
+bool AltIndex::RemoveInternal(Key key, ServedBy* served) {
   ALT_ASSERT_EPOCH_PINNED("AltIndex::RemoveInternal");
   for (;;) {
     const ModelDirectory::Snapshot* snap = directory_.snapshot();
@@ -779,6 +826,7 @@ bool AltIndex::RemoveInternal(Key key) {
             // in ART rely on this slot staying non-empty.
             s.word.Unlock(lw, SlotState::kTombstone);
             size_.fetch_sub(1, std::memory_order_relaxed);
+            SetServed(served, ServedBy::kLearnedSlot);
             return true;
           }
           routed_slot = &s;
@@ -795,7 +843,10 @@ bool AltIndex::RemoveInternal(Key key) {
         if (st == SlotState::kMigrated) break;
         // kEmpty:
         if (t == model && exp != nullptr) break;
-        if (t->strict_empty()) return false;  // authoritative absence
+        if (t->strict_empty()) {
+          SetServed(served, ServedBy::kLearnedNegative);
+          return false;  // authoritative absence
+        }
         routed_slot = &s;
         routed_word = w;
         decided = true;
@@ -807,6 +858,7 @@ bool AltIndex::RemoveInternal(Key key) {
 
     if (art_.Remove(key)) {
       size_.fetch_sub(1, std::memory_order_relaxed);
+      SetServed(served, ServedBy::kArtRoot);
       return true;
     }
     if (routed_slot != nullptr) {
@@ -818,6 +870,7 @@ bool AltIndex::RemoveInternal(Key key) {
         continue;  // routing changed (tail appended); retry
       }
     }
+    SetServed(served, ServedBy::kArtNegative);
     return false;
   }
 }
@@ -986,6 +1039,7 @@ void AltIndex::MaybeTriggerExpansion(GplModel* model) {
   retrain_started_.fetch_add(1, std::memory_order_relaxed);
   metrics::Inc(Counter::kRetrainStarted);
   metrics::RecordEvent(metrics::EventType::kRetrainStart, 0, model->first_key());
+  trace::RecordInstant("retrain_start", "retrain", model->first_key());
 }
 
 void AltIndex::MaybeFinishExpansion(GplModel* model, Expansion* exp) {
@@ -996,43 +1050,51 @@ void AltIndex::MaybeFinishExpansion(GplModel* model, Expansion* exp) {
 
 void AltIndex::FinishExpansion(GplModel* model, Expansion* exp) {
   GplModel* nm = exp->new_model;
+  trace::Span finish_span("retrain_finish", "retrain", model->first_key());
 
-  // Step 1: sweep the remaining old slots into the temporal buffer.
-  for (uint32_t i = 0; i < model->num_slots(); ++i) {
-    GplSlot& s = model->slot(i);
-    const uint32_t lw = s.word.Lock();
-    if (SlotWord::StateOf(lw) == SlotState::kOccupied) {
-      const Key k = s.key.load(std::memory_order_relaxed);
-      const Value v = s.value.load(std::memory_order_relaxed);
-      MigrateInto(nm, k, v);
+  {
+    // Step 1: sweep the remaining old slots into the temporal buffer.
+    trace::Span sweep_span("retrain_sweep", "retrain", model->num_slots());
+    for (uint32_t i = 0; i < model->num_slots(); ++i) {
+      GplSlot& s = model->slot(i);
+      const uint32_t lw = s.word.Lock();
+      if (SlotWord::StateOf(lw) == SlotState::kOccupied) {
+        const Key k = s.key.load(std::memory_order_relaxed);
+        const Value v = s.value.load(std::memory_order_relaxed);
+        MigrateInto(nm, k, v);
+      }
+      s.word.Unlock(lw, SlotState::kMigrated);
     }
-    s.word.Unlock(lw, SlotState::kMigrated);
   }
 
-  // Step 2: restore the zero-error invariant — ART keys of this model whose
-  // new predicted slot is empty are written back (§III-F).
-  const ModelDirectory::Snapshot* snap = directory_.snapshot();
-  const size_t idx = ModelDirectory::Locate(*snap, model->first_key());
-  const Key lo = model->first_key();
-  const Key hi = (idx + 1 < snap->first_keys.size()) ? snap->first_keys[idx + 1] - 1
-                                                     : ~Key{0};
-  std::vector<std::pair<Key, Value>> art_keys;
-  art_.RangeQuery(lo, hi, &art_keys);
-  for (const auto& [k, unused_v] : art_keys) {
-    if (k >= nm->coverage_end()) continue;  // stays in ART (tail range)
-    GplSlot& s = nm->slot(nm->Predict(k));
-    const uint32_t lw = s.word.Lock();
-    if (SlotWord::StateOf(lw) == SlotState::kEmpty) {
-      Value moved = 0;
-      if (art_.Remove(k, &moved)) {
-        s.key.store(k, std::memory_order_relaxed);
-        s.value.store(moved, std::memory_order_relaxed);
-        s.word.Unlock(lw, SlotState::kOccupied);
-        metrics::Inc(Counter::kWriteBacks);
-        continue;
+  {
+    // Step 2: restore the zero-error invariant — ART keys of this model whose
+    // new predicted slot is empty are written back (§III-F).
+    trace::Span wb_span("retrain_write_back", "retrain");
+    const ModelDirectory::Snapshot* snap = directory_.snapshot();
+    const size_t idx = ModelDirectory::Locate(*snap, model->first_key());
+    const Key lo = model->first_key();
+    const Key hi = (idx + 1 < snap->first_keys.size()) ? snap->first_keys[idx + 1] - 1
+                                                       : ~Key{0};
+    std::vector<std::pair<Key, Value>> art_keys;
+    art_.RangeQuery(lo, hi, &art_keys);
+    wb_span.set_detail(art_keys.size());
+    for (const auto& [k, unused_v] : art_keys) {
+      if (k >= nm->coverage_end()) continue;  // stays in ART (tail range)
+      GplSlot& s = nm->slot(nm->Predict(k));
+      const uint32_t lw = s.word.Lock();
+      if (SlotWord::StateOf(lw) == SlotState::kEmpty) {
+        Value moved = 0;
+        if (art_.Remove(k, &moved)) {
+          s.key.store(k, std::memory_order_relaxed);
+          s.value.store(moved, std::memory_order_relaxed);
+          s.word.Unlock(lw, SlotState::kOccupied);
+          metrics::Inc(Counter::kWriteBacks);
+          continue;
+        }
       }
+      s.word.Unlock(lw, SlotWord::StateOf(lw));
     }
-    s.word.Unlock(lw, SlotWord::StateOf(lw));
   }
 
   // The invariant now holds for the temporal buffer: every ART key of this
@@ -1060,6 +1122,7 @@ void AltIndex::AppendTailModelIfLast(const GplModel* published) {
   if (n == 0 || snap->models[n - 1].load(std::memory_order_acquire) != published) {
     return;
   }
+  trace::Span span("tail_append", "retrain");
   // §III-F: "if the retraining GPL model is the last one, we create a new GPL
   // model behind it" — first key just beyond the published model's coverage.
   const Key tail_first = published->coverage_end();

@@ -3,11 +3,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "art/art_tree.h"
 #include "common/key_codec.h"
+#include "common/path_tag.h"
 #include "common/status.h"
 #include "core/alt_options.h"
 #include "core/fast_pointer_buffer.h"
@@ -57,6 +59,11 @@ class AltIndex {
   /// \return true and set *out if present.
   bool Lookup(Key key, Value* out) const;
 
+  /// Lookup with per-path attribution: *served reports the terminal path that
+  /// answered (learned slot, fast-pointer ART hit by depth, root fallback,
+  /// negative; see common/path_tag.h). Same result contract as Lookup.
+  bool Lookup(Key key, Value* out, ServedBy* served) const;
+
   /// \brief Batched point lookups: resolve `n` independent keys with their
   /// cache misses overlapped (AMAC-style group prefetching; see
   /// src/core/lookup_batch.cc and DESIGN.md "Batched read path").
@@ -71,15 +78,18 @@ class AltIndex {
 
   /// Insert a new key. \return false (no change) if the key already exists.
   bool Insert(Key key, Value value);
+  bool Insert(Key key, Value value, ServedBy* served);
 
   /// Overwrite an existing key's value. \return false if absent.
   bool Update(Key key, Value value);
+  bool Update(Key key, Value value, ServedBy* served);
 
   /// Insert or overwrite. \return true if the key was newly inserted.
   bool Upsert(Key key, Value value);
 
   /// Delete a key. \return true if it was present.
   bool Remove(Key key);
+  bool Remove(Key key, ServedBy* served);
 
   /// Collect up to `count` pairs with key >= start, ascending (merged across
   /// the learned layer and ART-OPT, paper §III-G "Range Query").
@@ -156,6 +166,49 @@ class AltIndex {
   // live in the always-on metrics registry; see common/metrics.h.
   Stats CollectStats() const;
 
+  /// \brief Deep structural introspection (quiescent-only; defined in
+  /// structural_stats.cc, DESIGN.md §9.3). The component byte fields are
+  /// computed from the same accessors as MemoryUsage(), so
+  /// `header_bytes + directory_bytes + model_bytes + expansion_bytes +
+  /// fast_pointer_bytes + art_bytes == MemoryUsage()` at a quiescent point.
+  struct StructuralStats {
+    // --- memory decomposition (bytes) -------------------------------------
+    size_t header_bytes = 0;        ///< sizeof(AltIndex)
+    size_t directory_bytes = 0;     ///< snapshot arrays + radix (no models)
+    size_t model_bytes = 0;         ///< published GPL models (headers + slots)
+    size_t expansion_bytes = 0;     ///< in-flight §III-F temporal buffers
+    size_t fast_pointer_bytes = 0;  ///< fast pointer buffer
+    size_t art_bytes = 0;           ///< ART-OPT nodes + leaves
+    size_t total_bytes = 0;         ///< sum of the above (== MemoryUsage())
+
+    // --- learned layer ----------------------------------------------------
+    size_t num_models = 0;
+    size_t expanding_models = 0;  ///< models with an expansion installed
+    size_t tail_models = 0;       ///< models with the zero-error invariant suspended
+    size_t total_slots = 0;
+    size_t slot_states[4] = {};  ///< by SlotState: empty/occupied/tombstone/migrated
+    uint32_t min_segment = 0;    ///< smallest model build_size
+    uint32_t max_segment = 0;    ///< largest model build_size
+    /// Models bucketed by log2(build_size): segment_len_hist[b] counts models
+    /// with build_size in [2^b, 2^(b+1)). 17 buckets, last one open-ended.
+    size_t segment_len_hist[17] = {};
+    /// Models bucketed by occupancy decile (occupied / num_slots).
+    size_t occupancy_hist[10] = {};
+
+    // --- conflict population ----------------------------------------------
+    size_t art_keys = 0;
+    /// art_keys / (art_keys + occupied slots): fraction of resident keys that
+    /// lost their predicted slot (paper §III-A conflict ratio).
+    double conflict_ratio = 0;
+
+    art::ArtTree::Census art;
+  };
+  StructuralStats CollectStructuralStats() const;
+
+  /// CollectStructuralStats serialized as a single JSON object (pretty, 2-space
+  /// indent) — the payload behind the `--dump_structure` bench flag.
+  std::string StructureJson() const;
+
   size_t MemoryUsage() const;
 
   const AltOptions& options() const { return options_; }
@@ -175,13 +228,15 @@ class AltIndex {
                   uint32_t* word_out) const;
 
   /// Secondary search in ART-OPT via the model's fast pointer (root fallback).
-  bool ArtLookup(const GplModel* model, Key key, Value* out) const;
+  /// `served` (optional) receives the attribution of the terminal descent.
+  bool ArtLookup(const GplModel* model, Key key, Value* out,
+                 ServedBy* served = nullptr) const;
 
   /// Insert into ART-OPT via the model's fast pointer; updates conflict stats.
   /// \return true if inserted, false if the key already existed.
   bool ArtInsert(GplModel* model, Key key, Value value);
 
-  bool LookupInternal(Key key, Value* out) const;
+  bool LookupInternal(Key key, Value* out, ServedBy* served = nullptr) const;
 
   /// Batched read path internals (defined in lookup_batch.cc).
   struct BatchCursor;
@@ -189,9 +244,9 @@ class AltIndex {
   /// Advance one in-flight lookup by one pipeline stage. \return true when
   /// the cursor reached a terminal state (result written).
   bool BatchStep(BatchCursor& c, Value* out, bool* found, BatchStatsDelta* st) const;
-  bool InsertInternal(Key key, Value value);
-  bool RemoveInternal(Key key);
-  bool UpdateInternal(Key key, Value value);
+  bool InsertInternal(Key key, Value value, ServedBy* served = nullptr);
+  bool RemoveInternal(Key key, ServedBy* served = nullptr);
+  bool UpdateInternal(Key key, Value value, ServedBy* served = nullptr);
 
   /// Slow path: model under §III-F expansion. \return true if inserted,
   /// false if the key exists; sets *retry when the caller must re-run.

@@ -28,6 +28,13 @@ uint32_t GplModel::CountOccupied() const {
   return n;
 }
 
+void GplModel::CountSlotStates(size_t counts[4]) const {
+  for (uint32_t i = 0; i < num_slots_; ++i) {
+    const uint32_t state = static_cast<uint32_t>(SlotWord::StateOf(slots_[i].word.Read()));
+    counts[state & 3]++;
+  }
+}
+
 void GplModel::CollectRange(Key lo, Key hi, std::vector<std::pair<Key, Value>>* out,
                             size_t limit) const {
   size_t appended = 0;

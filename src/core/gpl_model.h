@@ -222,6 +222,10 @@ class GplModel {
   /// Count slots currently kOccupied (O(num_slots); stats & finish threshold).
   uint32_t CountOccupied() const;
 
+  /// Count slots by state: counts[i] += slots in SlotState i (kEmpty /
+  /// kOccupied / kTombstone / kMigrated). O(num_slots); structural stats.
+  void CountSlotStates(size_t counts[4]) const;
+
   /// Collect occupied (key, value) pairs with key in [lo, hi], ascending,
   /// stopping after `limit` appended pairs. Starts at Predict(lo) — valid
   /// because placement is monotone — and stops at the first key beyond `hi`.

@@ -7,24 +7,39 @@
 #include <memory>
 #include <thread>
 
+#include "common/json.h"
 #include "common/latency_recorder.h"
 #include "common/metrics.h"
+#include "common/random.h"
 #include "common/spinlock.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "datasets/dataset.h"
 
 namespace alt {
 
 namespace {
 
-void AppendJsonString(std::string* out, const std::string& s) {
-  out->push_back('"');
-  for (char c : s) {
-    if (c == '"' || c == '\\') out->push_back('\\');
-    if (static_cast<unsigned char>(c) >= 0x20) out->push_back(c);
-  }
-  out->push_back('"');
+constexpr size_t kNumOpTypes = 5;  // kRead..kRemove in workload.h
+constexpr size_t kNumPathCells = kNumOpTypes * kNumServedBy;
+
+size_t PathCell(OpType op, ServedBy served) {
+  return static_cast<size_t>(op) * kNumServedBy + static_cast<size_t>(served);
 }
+
+/// Per-thread attribution state: one total-op counter and one sampled-latency
+/// histogram per (op type × serving path) cell. Only allocated when
+/// RunOptions::path_breakdown is set.
+struct PathGrid {
+  std::vector<uint64_t> counts{std::vector<uint64_t>(kNumPathCells, 0)};
+  std::vector<LatencyHistogram> hists{std::vector<LatencyHistogram>(kNumPathCells)};
+
+  void Account(OpType op, ServedBy served, bool sampled, uint64_t ns) {
+    const size_t cell = PathCell(op, served);
+    counts[cell]++;
+    if (sampled) hists[cell].Record(ns);
+  }
+};
 
 void AppendDouble(std::string* out, double v) {
   char buf[32];
@@ -37,10 +52,9 @@ void AppendDouble(std::string* out, double v) {
 std::string RunJsonLine(const std::string& label, const char* phase,
                         const RunResult* result, const metrics::Snapshot& delta) {
   std::string line = "{\"label\":";
-  AppendJsonString(&line, label);
-  line += ",\"phase\":\"";
-  line += phase;
-  line += '"';
+  AppendJsonQuoted(label, &line);
+  line += ",\"phase\":";
+  AppendJsonQuoted(phase, &line);
   if (result != nullptr) {
     line += ",\"throughput_mops\":";
     AppendDouble(&line, result->throughput_mops);
@@ -52,6 +66,26 @@ std::string RunJsonLine(const std::string& label, const char* phase,
     line += ",\"p50_ns\":" + std::to_string(result->p50_ns);
     line += ",\"p99_ns\":" + std::to_string(result->p99_ns);
     line += ",\"p999_ns\":" + std::to_string(result->p999_ns);
+    if (!result->path_stats.empty()) {
+      line += ",\"paths\":[";
+      bool first = true;
+      for (const PathStat& p : result->path_stats) {
+        if (!first) line += ',';
+        first = false;
+        line += "{\"op\":";
+        AppendJsonQuoted(OpTypeName(p.op), &line);
+        line += ",\"served\":";
+        AppendJsonQuoted(ServedByName(p.served), &line);
+        line += ",\"count\":" + std::to_string(p.count);
+        line += ",\"samples\":" + std::to_string(p.samples);
+        line += ",\"mean_ns\":";
+        AppendDouble(&line, p.mean_ns);
+        line += ",\"p50_ns\":" + std::to_string(p.p50_ns);
+        line += ",\"p99_ns\":" + std::to_string(p.p99_ns);
+        line += ",\"p999_ns\":" + std::to_string(p.p999_ns) + '}';
+      }
+      line += ']';
+    }
   }
   line += ",\"metrics\":";
   line += metrics::ToJson(delta);
@@ -61,13 +95,43 @@ std::string RunJsonLine(const std::string& label, const char* phase,
 
 }  // namespace
 
+const char* OpTypeName(OpType t) {
+  switch (t) {
+    case OpType::kRead: return "read";
+    case OpType::kInsert: return "insert";
+    case OpType::kScan: return "scan";
+    case OpType::kUpdate: return "update";
+    case OpType::kRemove: return "remove";
+  }
+  return "unknown";
+}
+
+void PrintPathBreakdown(const RunResult& result, std::FILE* f) {
+  if (result.path_stats.empty()) return;
+  if (f == nullptr) f = stdout;
+  std::fprintf(f, "%-8s %-18s %12s %10s %10s %10s %10s %10s\n", "op",
+               "served_by", "count", "samples", "mean_ns", "p50_ns", "p99_ns",
+               "p999_ns");
+  for (const PathStat& p : result.path_stats) {
+    std::fprintf(f, "%-8s %-18s %12llu %10llu %10.0f %10llu %10llu %10llu\n",
+                 OpTypeName(p.op), ServedByName(p.served),
+                 static_cast<unsigned long long>(p.count),
+                 static_cast<unsigned long long>(p.samples), p.mean_ns,
+                 static_cast<unsigned long long>(p.p50_ns),
+                 static_cast<unsigned long long>(p.p99_ns),
+                 static_cast<unsigned long long>(p.p999_ns));
+  }
+}
+
 RunResult RunWorkload(ConcurrentIndex* index,
                       const std::vector<std::vector<Op>>& streams,
                       const RunOptions& options) {
   const int num_threads = static_cast<int>(streams.size());
   const size_t scan_length = options.scan_length;
   const size_t read_batch = options.read_batch > 0 ? options.read_batch : 1;
+  const bool paths = options.path_breakdown;
   std::vector<LatencyHistogram> hists(static_cast<size_t>(num_threads));
+  std::vector<PathGrid> grids(paths ? static_cast<size_t>(num_threads) : 0);
   std::vector<uint64_t> fails(static_cast<size_t>(num_threads), 0);
   std::vector<uint64_t> empties(static_cast<size_t>(num_threads), 0);
   std::atomic<int> ready{0};
@@ -76,6 +140,7 @@ RunResult RunWorkload(ConcurrentIndex* index,
   auto worker = [&](int tid) {
     const auto& stream = streams[static_cast<size_t>(tid)];
     LatencyHistogram& hist = hists[static_cast<size_t>(tid)];
+    PathGrid* grid = paths ? &grids[static_cast<size_t>(tid)] : nullptr;
     uint64_t failed = 0;
     uint64_t empty = 0;
     std::vector<std::pair<Key, Value>> scan_buf;
@@ -85,7 +150,15 @@ RunResult RunWorkload(ConcurrentIndex* index,
     std::vector<Value> batch_vals(read_batch);
     std::unique_ptr<bool[]> batch_found(new bool[read_batch]);
     size_t pending = 0;
-    uint32_t tick = 0;
+    // 1-in-16 latency sampling, with the starting phase de-correlated across
+    // threads (see LatencyRecorder's class comment: identical phases would
+    // sample the same op indices in lockstep and alias with synchronized
+    // periodic work such as epoch advances or batch flushes).
+    uint32_t tick = static_cast<uint32_t>(
+        Mix64(0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(tid)));
+    ready.fetch_add(1, std::memory_order_acq_rel);
+    while (!go.load(std::memory_order_acquire)) CpuRelax();
+    trace::Span worker_span("worker", "runner", stream.size());
     auto flush_reads = [&] {
       if (pending == 0) return;
       const bool sample = (tick++ & 15u) == 0;
@@ -94,11 +167,18 @@ RunResult RunWorkload(ConcurrentIndex* index,
           index->LookupBatch(batch_keys.data(), pending, batch_vals.data(),
                              batch_found.get());
       failed += pending - hits;
-      if (sample) hist.Record((NowNanos() - t0) / pending);
+      const uint64_t per_op = sample ? (NowNanos() - t0) / pending : 0;
+      if (sample) hist.Record(per_op);
+      if (grid != nullptr) {
+        // The batch pipeline does not attribute individual keys; the whole
+        // group lands in (read, unattributed) at its mean per-op latency.
+        for (size_t i = 0; i < pending; ++i) {
+          grid->Account(OpType::kRead, ServedBy::kUnattributed,
+                        sample && i == 0, per_op);
+        }
+      }
       pending = 0;
     };
-    ready.fetch_add(1, std::memory_order_acq_rel);
-    while (!go.load(std::memory_order_acquire)) CpuRelax();
     for (const Op& op : stream) {
       if (read_batch > 1) {
         if (op.type == OpType::kRead) {
@@ -111,14 +191,18 @@ RunResult RunWorkload(ConcurrentIndex* index,
       const bool sample = (tick++ & 15u) == 0;
       const uint64_t t0 = sample ? NowNanos() : 0;
       bool ok = true;
+      ServedBy served = ServedBy::kUnattributed;
+      ServedBy* sp = grid != nullptr ? &served : nullptr;
       switch (op.type) {
         case OpType::kRead: {
           Value v;
-          ok = index->Lookup(op.key, &v);
+          ok = sp != nullptr ? index->LookupServed(op.key, &v, sp)
+                             : index->Lookup(op.key, &v);
           break;
         }
         case OpType::kInsert:
-          ok = index->Insert(op.key, ValueFor(op.key));
+          ok = sp != nullptr ? index->InsertServed(op.key, ValueFor(op.key), sp)
+                             : index->Insert(op.key, ValueFor(op.key));
           break;
         case OpType::kScan:
           // A scan that finds nothing hit the end of the keyspace (every
@@ -127,14 +211,19 @@ RunResult RunWorkload(ConcurrentIndex* index,
           if (index->Scan(op.key, scan_length, &scan_buf) == 0) ++empty;
           break;
         case OpType::kUpdate:
-          ok = index->Update(op.key, ValueFor(op.key) ^ 0x5a5a);
+          ok = sp != nullptr
+                   ? index->UpdateServed(op.key, ValueFor(op.key) ^ 0x5a5a, sp)
+                   : index->Update(op.key, ValueFor(op.key) ^ 0x5a5a);
           break;
         case OpType::kRemove:
-          ok = index->Remove(op.key);
+          ok = sp != nullptr ? index->RemoveServed(op.key, sp)
+                             : index->Remove(op.key);
           break;
       }
       if (!ok) ++failed;
-      if (sample) hist.Record(NowNanos() - t0);
+      const uint64_t ns = sample ? NowNanos() - t0 : 0;
+      if (sample) hist.Record(ns);
+      if (grid != nullptr) grid->Account(op.type, served, sample, ns);
     }
     if (read_batch > 1) flush_reads();
     fails[static_cast<size_t>(tid)] = failed;
@@ -173,8 +262,12 @@ RunResult RunWorkload(ConcurrentIndex* index,
   }
 
   const Stopwatch clock;
-  go.store(true, std::memory_order_release);
-  for (auto& th : threads) th.join();
+  {
+    trace::Span measure_span("measure", "runner",
+                             static_cast<uint64_t>(num_threads));
+    go.store(true, std::memory_order_release);
+    for (auto& th : threads) th.join();
+  }
   const double seconds = clock.ElapsedSeconds();
   if (sampler.joinable()) {
     stop_sampler.store(true, std::memory_order_release);
@@ -197,6 +290,28 @@ RunResult RunWorkload(ConcurrentIndex* index,
   r.p99_ns = merged.Percentile(0.99);
   r.p999_ns = merged.Percentile(0.999);
   r.mean_ns = merged.MeanNs();
+
+  if (paths) {
+    for (size_t cell = 0; cell < kNumPathCells; ++cell) {
+      uint64_t count = 0;
+      LatencyHistogram cell_hist;
+      for (const PathGrid& g : grids) {
+        count += g.counts[cell];
+        cell_hist.Merge(g.hists[cell]);
+      }
+      if (count == 0) continue;
+      PathStat p;
+      p.op = static_cast<OpType>(cell / kNumServedBy);
+      p.served = static_cast<ServedBy>(cell % kNumServedBy);
+      p.count = count;
+      p.samples = cell_hist.Count();
+      p.mean_ns = cell_hist.MeanNs();
+      p.p50_ns = cell_hist.Percentile(0.50);
+      p.p99_ns = cell_hist.Percentile(0.99);
+      p.p999_ns = cell_hist.Percentile(0.999);
+      r.path_stats.push_back(p);
+    }
+  }
 
   if (export_metrics) {
     metrics::SetGauge(metrics::Gauge::kLiveKeys,

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -8,6 +9,19 @@
 #include "workload/workload.h"
 
 namespace alt {
+
+/// Per-(op type × serving path) latency attribution row (DESIGN.md §9.2):
+/// which internal path answered the op, how often, and at what latency.
+struct PathStat {
+  OpType op = OpType::kRead;
+  ServedBy served = ServedBy::kUnattributed;
+  uint64_t count = 0;    ///< ops routed to this path (every op, not sampled)
+  uint64_t samples = 0;  ///< latency samples behind the percentiles (1/16)
+  double mean_ns = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p99_ns = 0;
+  uint64_t p999_ns = 0;
+};
 
 /// Aggregated result of one timed run.
 struct RunResult {
@@ -20,6 +34,9 @@ struct RunResult {
   double mean_ns = 0;
   uint64_t failed_ops = 0;   ///< reads that missed / duplicate inserts
   uint64_t empty_scans = 0;  ///< scans past the last key (not failures)
+  /// Non-empty iff RunOptions::path_breakdown; rows with count > 0 only,
+  /// ordered by (op, served).
+  std::vector<PathStat> path_stats;
 };
 
 /// Execution knobs for RunWorkload.
@@ -39,6 +56,12 @@ struct RunOptions {
   double metrics_interval_seconds = 0;
   /// Free-form run label copied into each JSON line (e.g. "ycsb-a/alt/16t").
   std::string metrics_label;
+  /// Collect per-(op × serving path) latency attribution into
+  /// RunResult::path_stats (and the "paths" array of the final metrics JSON
+  /// line). Off by default: attribution routes ops through the Served*
+  /// interface variants and keeps one extra histogram per (op, path) pair
+  /// per thread.
+  bool path_breakdown = false;
 };
 
 /// \brief Execute pre-generated per-thread op streams against `index` with
@@ -65,5 +88,12 @@ struct BenchSetup {
 /// even ranks) keeps both sets distribution-representative, mirroring how
 /// learned-index evaluations sample insert keys.
 BenchSetup SplitDataset(const std::vector<Key>& keys, double bulk_fraction);
+
+/// Human-readable name of an op type ("read", "insert", ...).
+const char* OpTypeName(OpType t);
+
+/// Print RunResult::path_stats as an aligned table to `f` (default stdout).
+/// No-op when path_stats is empty.
+void PrintPathBreakdown(const RunResult& result, std::FILE* f = nullptr);
 
 }  // namespace alt

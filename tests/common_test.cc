@@ -346,6 +346,68 @@ TEST(LatencyHistogramTest, SmallValuesExact) {
   EXPECT_EQ(h.Count(), 16u);
 }
 
+// Property test for the within-bucket linear interpolation: across several
+// distribution shapes and quantiles, the histogram estimate must stay within
+// one bucket width (~2 * 1/16 relative, we allow 8%) of the exact sorted-
+// vector oracle — the old upper-bound-only behavior biased every estimate to
+// the top of its bucket, failing the lower edge of this bound.
+TEST(LatencyHistogramTest, InterpolatedPercentileTracksOracle) {
+  Rng rng(71);
+  for (int dist = 0; dist < 3; ++dist) {
+    LatencyHistogram h;
+    std::vector<uint64_t> samples;
+    for (int i = 0; i < 60000; ++i) {
+      uint64_t ns = 0;
+      switch (dist) {
+        case 0:  // uniform
+          ns = 100 + rng.NextBounded(500000);
+          break;
+        case 1:  // bimodal: fast path + slow tail
+          ns = (rng.NextBounded(10) < 9) ? 80 + rng.NextBounded(200)
+                                         : 20000 + rng.NextBounded(80000);
+          break;
+        default:  // heavy-tailed (approximately log-uniform)
+          ns = uint64_t{1} << (4 + rng.NextBounded(20));
+          ns += rng.NextBounded(ns);
+          break;
+      }
+      samples.push_back(ns);
+      h.Record(ns);
+    }
+    std::sort(samples.begin(), samples.end());
+    for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0}) {
+      size_t rank = static_cast<size_t>(std::ceil(q * samples.size()));
+      if (rank > 0) --rank;
+      const double exact = static_cast<double>(samples[rank]);
+      const double approx = static_cast<double>(h.Percentile(q));
+      EXPECT_NEAR(approx, exact, exact * 0.08 + 2.0)
+          << "dist=" << dist << " q=" << q;
+    }
+  }
+}
+
+TEST(LatencyRecorderTest, SamplingRatePreservedAndPhasesDiffer) {
+  // Rate: over any window of k*sample_every calls, exactly k samples fire,
+  // whatever the starting phase.
+  std::set<uint32_t> phases;
+  for (int r = 0; r < 16; ++r) {
+    LatencyRecorder rec(16);
+    int fired = 0;
+    uint32_t first = 0;
+    for (uint32_t i = 0; i < 160; ++i) {
+      if (rec.ShouldSample()) {
+        if (fired == 0) first = i;
+        ++fired;
+      }
+    }
+    EXPECT_EQ(fired, 10);
+    phases.insert(first);
+  }
+  // De-phase-locking: 16 recorders must not all share one starting phase
+  // (16 i.i.d. uniform draws collide completely with probability 16^-15).
+  EXPECT_GT(phases.size(), 1u);
+}
+
 TEST(TimerTest, StopwatchAdvances) {
   Stopwatch sw;
   volatile uint64_t sink = 0;

@@ -1,0 +1,150 @@
+// Structural-introspection tests (DESIGN.md §9.3): the byte decomposition of
+// AltIndex::CollectStructuralStats must sum exactly to MemoryUsage(), the ART
+// census must agree with CollectStats, and the JSON reports must be
+// well-formed and carry the expected fields.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "art/art_tree.h"
+#include "baselines/alt_adapter.h"
+#include "common/epoch.h"
+#include "common/random.h"
+#include "core/alt_index.h"
+#include "datasets/dataset.h"
+
+namespace alt {
+namespace {
+
+class StructureTest : public ::testing::Test {
+ protected:
+  void TearDown() override { EpochManager::Global().DrainAll(); }
+};
+
+std::vector<Key> DenseKeys(size_t n, Key start = 1000, Key stride = 7) {
+  std::vector<Key> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) keys.push_back(start + stride * static_cast<Key>(i));
+  return keys;
+}
+
+/// Bulk-load `bulk` keys, then insert `extra` interleaved keys so the
+/// conflict tree and (possibly) expansions are populated.
+void Populate(AltIndex* index, size_t bulk, size_t extra) {
+  const auto keys = DenseKeys(bulk);
+  std::vector<Value> vals(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) vals[i] = ValueFor(keys[i]);
+  ASSERT_TRUE(index->BulkLoad(keys.data(), vals.data(), keys.size()).ok());
+  uint64_t seed = 99;
+  for (size_t i = 0; i < extra; ++i) {
+    const Key k = 1001 + 7 * (SplitMix64(seed) % (bulk * 2));
+    index->Insert(k, ValueFor(k));  // duplicates just fail; fine
+  }
+}
+
+TEST_F(StructureTest, ComponentBytesSumToMemoryUsage) {
+  AltIndex index;
+  Populate(&index, 20000, 30000);
+  const AltIndex::StructuralStats st = index.CollectStructuralStats();
+  EXPECT_EQ(st.total_bytes, st.header_bytes + st.directory_bytes +
+                                st.model_bytes + st.expansion_bytes +
+                                st.fast_pointer_bytes + st.art_bytes);
+  // The acceptance bar is ±5%; the decomposition reuses MemoryUsage()'s own
+  // summands, so at a quiescent point it is exact.
+  EXPECT_EQ(st.total_bytes, index.MemoryUsage());
+  EXPECT_GT(st.model_bytes, 0u);
+  EXPECT_GT(st.num_models, 0u);
+  EXPECT_EQ(st.slot_states[0] + st.slot_states[1] + st.slot_states[2] +
+                st.slot_states[3],
+            st.total_slots);
+  EXPECT_GE(st.conflict_ratio, 0.0);
+  EXPECT_LE(st.conflict_ratio, 1.0);
+  size_t seg_total = 0;
+  for (size_t i = 0; i < 17; ++i) seg_total += st.segment_len_hist[i];
+  EXPECT_EQ(seg_total, st.num_models);
+  size_t occ_total = 0;
+  for (size_t i = 0; i < 10; ++i) occ_total += st.occupancy_hist[i];
+  EXPECT_EQ(occ_total, st.num_models);
+}
+
+TEST_F(StructureTest, ArtCensusMatchesCollectStats) {
+  art::ArtTree tree;
+  {
+    EpochGuard g;
+    uint64_t seed = 7;
+    for (int i = 0; i < 50000; ++i) {
+      tree.Insert(SplitMix64(seed), static_cast<Value>(i));
+    }
+  }
+  const art::ArtTree::Stats stats = tree.CollectStats();
+  const art::ArtTree::Census census = tree.CollectCensus();
+  EXPECT_EQ(census.nodes[0], stats.n4);
+  EXPECT_EQ(census.nodes[1], stats.n16);
+  EXPECT_EQ(census.nodes[2], stats.n48);
+  EXPECT_EQ(census.nodes[3], stats.n256);
+  EXPECT_EQ(census.leaves, stats.leaves);
+  EXPECT_EQ(census.total_bytes, stats.bytes);
+  EXPECT_EQ(census.height, stats.height);
+  EXPECT_EQ(census.total_bytes, census.node_bytes[0] + census.node_bytes[1] +
+                                    census.node_bytes[2] + census.node_bytes[3] +
+                                    census.leaf_bytes);
+  size_t depth_total = 0;
+  for (int i = 0; i <= kKeyBytes; ++i) depth_total += census.depth_hist[i];
+  EXPECT_EQ(depth_total, census.leaves);
+  EXPECT_EQ(census.leaves, tree.Size());
+}
+
+TEST_F(StructureTest, StructureJsonIsBalancedAndComplete) {
+  AltIndex index;
+  Populate(&index, 5000, 5000);
+  const std::string doc = index.StructureJson();
+  for (const char* field :
+       {"\"memory\"", "\"total_bytes\"", "\"learned_layer\"", "\"num_models\"",
+        "\"segment_len_hist_log2\"", "\"occupancy_deciles\"",
+        "\"conflict_ratio\"", "\"art\"", "\"node4\"", "\"leaf_depth_hist\""}) {
+    EXPECT_NE(doc.find(field), std::string::npos) << field;
+  }
+  int depth = 0;
+  for (char c : doc) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST_F(StructureTest, AdapterBreakdownMatchesMemoryUsage) {
+  AltIndexAdapter adapter;
+  const auto keys = DenseKeys(10000);
+  std::vector<Value> vals(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) vals[i] = ValueFor(keys[i]);
+  ASSERT_TRUE(adapter.BulkLoad(keys.data(), vals.data(), keys.size()).ok());
+  for (size_t i = 0; i < 5000; ++i) {
+    adapter.Insert(keys.back() + 3 * static_cast<Key>(i + 1), 1);
+  }
+  const ConcurrentIndex::MemoryBreakdown mb = adapter.CollectMemoryBreakdown();
+  EXPECT_EQ(mb.total(), adapter.MemoryUsage());
+  EXPECT_GT(mb.model_bytes, 0u);
+  EXPECT_GT(mb.auxiliary_bytes, 0u);
+  EXPECT_EQ(mb.other_bytes, 0u);
+}
+
+TEST_F(StructureTest, ServedByDefaultsToUnattributedForBaselines) {
+  // The base-class Served* variants must delegate and tag kUnattributed.
+  AltIndexAdapter adapter;
+  const auto keys = DenseKeys(1000);
+  std::vector<Value> vals(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) vals[i] = ValueFor(keys[i]);
+  ASSERT_TRUE(adapter.BulkLoad(keys.data(), vals.data(), keys.size()).ok());
+  Value v = 0;
+  ServedBy served = ServedBy::kUnattributed;
+  EXPECT_TRUE(adapter.LookupServed(keys[10], &v, &served));
+  EXPECT_NE(served, ServedBy::kUnattributed);  // ALT attributes its reads
+  EXPECT_EQ(v, ValueFor(keys[10]));
+  // Null out-param is legal everywhere.
+  EXPECT_TRUE(adapter.LookupServed(keys[11], &v, nullptr));
+}
+
+}  // namespace
+}  // namespace alt
