@@ -5,6 +5,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "common/cpu_features.h"
 #include "common/epoch.h"
 #include "common/trace.h"
 #include "datasets/sosd_loader.h"
@@ -69,6 +70,8 @@ BenchConfig BenchConfig::Parse(int argc, char** argv) {
     } else if (!std::strcmp(a, "--path_breakdown") ||
                !std::strcmp(a, "--path-breakdown")) {
       cfg.path_breakdown = true;
+    } else if (!std::strcmp(a, "--perf_stat") || !std::strcmp(a, "--perf-stat")) {
+      cfg.perf_stat = true;
     } else if (!std::strcmp(a, "--datasets")) {
       cfg.datasets.clear();
       for (const auto& name : SplitCsv(next(i))) {
@@ -87,7 +90,8 @@ BenchConfig BenchConfig::Parse(int argc, char** argv) {
           "--zipf-theta F --scan-length N --read_batch N --seed N "
           "--datasets a,b --indexes a,b --dataset-file PATH "
           "--metrics_json PATH --metrics_interval S "
-          "--trace_json PATH --dump_structure PATH|- --path_breakdown\n"
+          "--trace_json PATH --dump_structure PATH|- --path_breakdown "
+          "--perf_stat\n"
           "env: ALT_BENCH_SCALE=K multiplies --keys and --ops\n");
       std::exit(0);
     } else {
@@ -164,6 +168,7 @@ RunResult RunOne(const BenchConfig& cfg, const std::string& index_name,
   run_opts.metrics_json = cfg.metrics_json;
   run_opts.metrics_interval_seconds = cfg.metrics_interval;
   run_opts.path_breakdown = cfg.path_breakdown;
+  run_opts.perf_stat = cfg.perf_stat;
   run_opts.metrics_label = index_name;
   run_opts.metrics_label += '/';
   run_opts.metrics_label += WorkloadName(workload);
@@ -171,6 +176,12 @@ RunResult RunOne(const BenchConfig& cfg, const std::string& index_name,
   run_opts.metrics_label += std::to_string(cfg.threads) + "t";
   const RunResult r = RunWorkload(index.get(), streams, run_opts);
   if (cfg.path_breakdown) PrintPathBreakdown(r);
+  if (cfg.perf_stat) {
+    // The counter numbers are only interpretable against the code path that
+    // produced them, so name the active read-path kernel alongside them.
+    std::printf("read-path simd: %s\n", cpu::SimdModeName());
+    PrintPerfStat(r);
+  }
   if (!cfg.dump_structure.empty()) {
     const std::string report = index->StructureJson();
     if (cfg.dump_structure == "-") {

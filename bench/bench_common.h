@@ -52,6 +52,12 @@ struct BenchConfig {
   /// `--path_breakdown`: collect per-(op × serving path) latency attribution
   /// and print the breakdown table after each run.
   bool path_breakdown = false;
+  /// `--perf_stat`: per-thread perf_event_open counter groups around the
+  /// timed loop; prints the cycles/instructions/LLC-miss/branch-miss per-op
+  /// block after each run and adds a "perf" object to the metrics JSON line.
+  /// Degrades tier-by-tier when the PMU is unavailable (see
+  /// common/perf_counters.h) and says so instead of printing zeros.
+  bool perf_stat = false;
 
   static BenchConfig Parse(int argc, char** argv);
 };

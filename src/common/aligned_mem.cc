@@ -1,0 +1,67 @@
+#include "common/aligned_mem.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace alt {
+
+namespace {
+
+inline size_t RoundUp(size_t v, size_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+void* AllocateAligned64(size_t bytes) {
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  void* p = std::aligned_alloc(64, RoundUp(bytes, 64));
+  if (p != nullptr) std::memset(p, 0, bytes);
+  return p;
+}
+
+}  // namespace
+
+void* AllocateHotArray(size_t bytes, bool use_huge_pages, bool* huge_backed) {
+  if (huge_backed != nullptr) *huge_backed = false;
+  if (bytes == 0) bytes = 1;
+#if defined(__linux__)
+  if (use_huge_pages && bytes >= kHugePageBytes) {
+    const size_t len = RoundUp(bytes, kHugePageBytes);
+    void* p = mmap(nullptr, len, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p != MAP_FAILED) {
+      if (madvise(p, len, MADV_HUGEPAGE) == 0) {
+        if (huge_backed != nullptr) *huge_backed = true;
+        return p;  // anonymous pages are already zero-filled
+      }
+      // THP rejected (compiled out or set to "never"): release the mapping
+      // and take the plain heap path so `huge_backed` always means exactly
+      // "free this with munmap(len)".
+      munmap(p, len);
+    }
+    // mmap/madvise failed (address-space limits, THP off, ...): heap fallback.
+  }
+#else
+  (void)use_huge_pages;
+#endif
+  return AllocateAligned64(bytes);
+}
+
+void FreeHotArray(void* p, size_t bytes, bool huge_backed) {
+  if (p == nullptr) return;
+#if defined(__linux__)
+  if (huge_backed) {
+    munmap(p, RoundUp(bytes, kHugePageBytes));
+    return;
+  }
+#else
+  (void)bytes;
+  (void)huge_backed;
+#endif
+  std::free(p);
+}
+
+}  // namespace alt

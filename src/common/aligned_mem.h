@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstddef>
+
+namespace alt {
+
+/// 2MB — x86-64 / AArch64 transparent huge page granularity.
+inline constexpr size_t kHugePageBytes = size_t{2} << 20;
+
+/// \brief Zero-filled, 64-byte-aligned allocation for hot arrays (GPL slot
+/// arrays). When `use_huge_pages` is set and the request spans at least one
+/// huge page, the region is mmap'd at 2MB granularity and advised
+/// MADV_HUGEPAGE so the kernel backs it with 2MB pages where it can —
+/// collapsing the dTLB footprint of large slot arrays (DESIGN.md §10).
+///
+/// Fallback chain, each step graceful and silent: a request below one huge
+/// page, an mmap or madvise failure (THP compiled out or set to "never"), or
+/// a non-Linux build all land on an ordinary 64-byte-aligned heap allocation.
+/// `*huge_backed` reports whether the huge-page mmap path was taken (and thus
+/// how the matching FreeHotArray must release the region).
+void* AllocateHotArray(size_t bytes, bool use_huge_pages, bool* huge_backed);
+
+/// Release an AllocateHotArray region. `bytes` and `huge_backed` must be the
+/// values of the matching allocation (mmap'd regions need their length back).
+void FreeHotArray(void* p, size_t bytes, bool huge_backed);
+
+}  // namespace alt

@@ -1,0 +1,54 @@
+#pragma once
+
+// ALT_SIMD_X86: this build contains the AVX2 code paths (function-level
+// `target("avx2")` attributes; no global -mavx2, so the baseline code stays
+// runnable on any x86-64). Vector slot-state scans read slot words with plain
+// (non-atomic) loads — the same seqlock-escape idiom as the optimistic
+// accessors, but invisible to ThreadSanitizer — so TSan builds compile the
+// scalar paths only and every report stays actionable.
+#if defined(__SANITIZE_THREAD__)
+#define ALT_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ALT_TSAN_BUILD 1
+#endif
+#endif
+#if !defined(ALT_SIMD_DISABLED) && !defined(ALT_TSAN_BUILD) && \
+    defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define ALT_SIMD_X86 1
+#else
+#define ALT_SIMD_X86 0
+#endif
+
+namespace alt {
+namespace cpu {
+
+/// \brief Runtime CPU feature report backing the SIMD dispatch (DESIGN.md §10).
+///
+/// Detection runs once (CPUID via __builtin_cpu_supports, which also checks
+/// OS XSAVE support for the ymm state) and is folded together with the two
+/// kill switches:
+///  - compile time: -DALT_SIMD=OFF builds no vector code at all;
+///  - runtime: ALT_FORCE_SCALAR=1 in the environment pins the always-compiled
+///    scalar paths even on AVX2 hardware (the differential-test hook, and the
+///    escape hatch if a vector path ever misbehaves in production).
+struct Features {
+  bool avx2 = false;          ///< hardware + OS support ymm state
+  bool forced_scalar = false; ///< ALT_FORCE_SCALAR=1 seen in the environment
+  bool compiled_simd = false; ///< this binary contains the AVX2 paths
+};
+
+/// The process-wide feature report (detected once, then cached).
+const Features& GetFeatures();
+
+/// True iff the vector paths should run: compiled in, hardware-supported, and
+/// not overridden by ALT_FORCE_SCALAR. Cheap enough for per-operation checks
+/// (one relaxed bool load after first use).
+bool SimdEnabled();
+
+/// Human-readable dispatch decision for logs and bench headers: "avx2",
+/// "scalar (forced)", "scalar (no avx2)", or "scalar (compiled out)".
+const char* SimdModeName();
+
+}  // namespace cpu
+}  // namespace alt

@@ -1,0 +1,193 @@
+#include "common/perf_counters.h"
+
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace alt {
+namespace perf {
+
+namespace {
+
+inline uint64_t ReadTsc() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_ia32_rdtsc();
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
+
+void Reading::Accumulate(const Reading& other) {
+  cycles += other.cycles;
+  instructions += other.instructions;
+  llc_misses += other.llc_misses;
+  branch_misses += other.branch_misses;
+  task_clock_ns += other.task_clock_ns;
+  page_faults += other.page_faults;
+  tsc_cycles += other.tsc_cycles;
+  // Worst (largest) multiplexing correction across the merged threads; the
+  // per-value scaling itself already happened in Stop().
+  if (other.scale > scale) scale = other.scale;
+}
+
+#if defined(__linux__)
+
+namespace {
+
+int OpenEvent(uint32_t type, uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = type;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  // Group members inherit the leader's enable state; only the leader starts
+  // disabled. exclude_kernel/hv keeps the counters openable at
+  // perf_event_paranoid <= 2 (the unprivileged default).
+  attr.disabled = group_fd < 0 ? 1 : 0;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return static_cast<int>(syscall(__NR_perf_event_open, &attr, 0, -1,
+                                  group_fd, 0));
+}
+
+}  // namespace
+
+ThreadCounters::ThreadCounters() {
+  // Tier 1: the four hardware counters of the micro-architectural analysis
+  // playbook. PERF_COUNT_HW_CACHE_MISSES is the "LLC misses" alias perf stat
+  // itself uses.
+  static constexpr struct {
+    uint32_t type;
+    uint64_t config;
+  } kHardwareEvents[kMaxEvents] = {
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+  };
+  bool ok = true;
+  for (int i = 0; i < kMaxEvents; ++i) {
+    const int fd = OpenEvent(kHardwareEvents[i].type, kHardwareEvents[i].config,
+                             i == 0 ? -1 : fds_[0]);
+    if (fd < 0) {
+      if (error_.empty()) error_ = std::strerror(errno);
+      ok = false;
+      break;
+    }
+    fds_[i] = fd;
+    ++num_events_;
+  }
+  if (ok) {
+    tier_ = Tier::kHardware;
+    group_fd_ = fds_[0];
+    return;
+  }
+  for (int i = 0; i < num_events_; ++i) close(fds_[i]);
+  num_events_ = 0;
+
+  // Tier 2: software events exist even without a PMU (VMs, most containers).
+  const int sw_leader = OpenEvent(PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK, -1);
+  if (sw_leader >= 0) {
+    fds_[0] = sw_leader;
+    num_events_ = 1;
+    const int faults =
+        OpenEvent(PERF_TYPE_SOFTWARE, PERF_COUNT_SW_PAGE_FAULTS, sw_leader);
+    if (faults >= 0) {
+      fds_[1] = faults;
+      num_events_ = 2;
+    }
+    tier_ = Tier::kSoftware;
+    group_fd_ = sw_leader;
+    return;
+  }
+  // Tier 3: perf_event_open rejected outright (seccomp); TSC only.
+}
+
+ThreadCounters::~ThreadCounters() {
+  for (int i = 0; i < num_events_; ++i) close(fds_[i]);
+}
+
+void ThreadCounters::Start() {
+  if (group_fd_ >= 0) {
+    ioctl(group_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ioctl(group_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  }
+  tsc_start_ = ReadTsc();
+}
+
+Reading ThreadCounters::Stop() {
+  const uint64_t tsc_end = ReadTsc();
+  Reading r;
+  r.tier = tier_;
+  r.tsc_cycles = tsc_end - tsc_start_;
+  if (group_fd_ < 0) return r;
+  ioctl(group_fd_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+
+  // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, values[nr].
+  uint64_t buf[3 + kMaxEvents] = {};
+  const ssize_t want = static_cast<ssize_t>((3 + num_events_) * sizeof(uint64_t));
+  if (read(group_fd_, buf, static_cast<size_t>(want)) != want) return r;
+  const uint64_t enabled = buf[1];
+  const uint64_t running = buf[2];
+  // Multiplexing correction, exactly as perf stat scales: the group may have
+  // been scheduled for only part of the window when counters are contended.
+  const double scale =
+      running > 0 ? static_cast<double>(enabled) / static_cast<double>(running)
+                  : 0.0;
+  r.scale = scale > 1.0 ? scale : 1.0;
+  const auto scaled = [&](uint64_t v) {
+    return running > 0 ? static_cast<uint64_t>(static_cast<double>(v) * r.scale)
+                       : uint64_t{0};
+  };
+  if (tier_ == Tier::kHardware) {
+    r.cycles = scaled(buf[3]);
+    r.instructions = scaled(buf[4]);
+    r.llc_misses = scaled(buf[5]);
+    r.branch_misses = scaled(buf[6]);
+  } else {
+    r.task_clock_ns = scaled(buf[3]);
+    if (num_events_ > 1) r.page_faults = scaled(buf[4]);
+  }
+  return r;
+}
+
+#else  // !__linux__
+
+ThreadCounters::ThreadCounters() { error_ = "perf_event_open requires Linux"; }
+ThreadCounters::~ThreadCounters() = default;
+
+void ThreadCounters::Start() { tsc_start_ = ReadTsc(); }
+
+Reading ThreadCounters::Stop() {
+  Reading r;
+  r.tsc_cycles = ReadTsc() - tsc_start_;
+  return r;
+}
+
+#endif  // __linux__
+
+std::string TierName(Tier tier, const std::string& error) {
+  switch (tier) {
+    case Tier::kHardware:
+      return "hardware";
+    case Tier::kSoftware:
+      return "software (hardware counters: " + error + ")";
+    case Tier::kUnavailable:
+      return "unavailable (" + error + ")";
+  }
+  return "unknown";
+}
+
+}  // namespace perf
+}  // namespace alt

@@ -1,0 +1,129 @@
+#include "common/simd.h"
+
+#include <cstring>
+
+#if ALT_SIMD_X86
+#include <immintrin.h>
+#endif
+
+namespace alt {
+namespace simd {
+
+SlotScan8 ScanSlotWords8Scalar(const void* first_slot, size_t stride) {
+  SlotScan8 r;
+  const auto* base = static_cast<const unsigned char*>(first_slot);
+  for (int lane = 0; lane < 8; ++lane) {
+    uint32_t w;
+    std::memcpy(&w, base + stride * static_cast<size_t>(lane), sizeof(w));
+    if ((w & 1u) != 0) {
+      r.busy_mask |= static_cast<uint8_t>(1u << lane);
+      continue;
+    }
+    r.state_mask[(w >> 1) & 3u] |= static_cast<uint8_t>(1u << lane);
+  }
+  return r;
+}
+
+#if ALT_SIMD_X86
+namespace detail {
+
+// AVX2 has no unsigned 64-bit compare; flipping the sign bit maps unsigned
+// order onto the signed _mm256_cmpgt_epi64 order.
+__attribute__((target("avx2"))) size_t UpperBoundU64Avx2(const uint64_t* data,
+                                                         size_t lo, size_t hi,
+                                                         uint64_t key) {
+  // Bisect until the window fits one contiguous sweep. Identical midpoint
+  // arithmetic to the scalar twin, so both take the same path to the window.
+  while (hi - lo > kSimdSearchCutover) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (data[mid] <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  const __m256i sign = _mm256_set1_epi64x(static_cast<long long>(1ULL << 63));
+  const __m256i vkey = _mm256_xor_si256(
+      _mm256_set1_epi64x(static_cast<long long>(key)), sign);
+  size_t i = lo;
+  // 8 keys per iteration: two 256-bit loads, two compares, one combined
+  // movemask test. The array is sorted, so the first set bit is the answer.
+  for (; i + 8 <= hi; i += 8) {
+    const __m256i a = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i)), sign);
+    const __m256i b = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i + 4)), sign);
+    const unsigned ma = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(a, vkey))));
+    const unsigned mb = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(b, vkey))));
+    const unsigned m = ma | (mb << 4);
+    if (m != 0) return i + static_cast<size_t>(__builtin_ctz(m));
+  }
+  if (i + 4 <= hi) {
+    const __m256i a = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i)), sign);
+    const unsigned m = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(a, vkey))));
+    if (m != 0) return i + static_cast<size_t>(__builtin_ctz(m));
+    i += 4;
+  }
+  for (; i < hi; ++i) {
+    if (data[i] > key) return i;
+  }
+  return hi;
+}
+
+__attribute__((target("avx2"))) SlotScan8 ScanSlotWords8Avx2(
+    const void* first_slot, size_t stride) {
+  const auto* base = static_cast<const unsigned char*>(first_slot);
+  __m256i words;
+  if (stride == 32) {
+    // 8 slots of exactly 32 bytes each: one 256-bit load per slot puts the
+    // state word in 32-bit lane 0, and a three-level unpack tree packs the
+    // eight lane-0 words into one vector. VPGATHERDD is 1-2 cycles *per
+    // element* on most cores, so eight plain loads (same cache lines either
+    // way) plus seven shuffles measure ~3x faster than the gather variant.
+    const __m256i v0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(base));
+    const __m256i v1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(base + 32));
+    const __m256i v2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(base + 64));
+    const __m256i v3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(base + 96));
+    const __m256i v4 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(base + 128));
+    const __m256i v5 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(base + 160));
+    const __m256i v6 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(base + 192));
+    const __m256i v7 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(base + 224));
+    const __m256i a01 = _mm256_unpacklo_epi32(v0, v1);  // low lane: w0 w1 . .
+    const __m256i a23 = _mm256_unpacklo_epi32(v2, v3);  // low lane: w2 w3 . .
+    const __m256i a45 = _mm256_unpacklo_epi32(v4, v5);
+    const __m256i a67 = _mm256_unpacklo_epi32(v6, v7);
+    const __m256i b03 = _mm256_unpacklo_epi64(a01, a23);  // low lane: w0..w3
+    const __m256i b47 = _mm256_unpacklo_epi64(a45, a67);  // low lane: w4..w7
+    words = _mm256_permute2x128_si256(b03, b47, 0x20);    // w0..w7
+  } else {
+    // Generic stride: one gather replaces 8 strided scalar loads; scale 1
+    // keeps the byte stride free-form.
+    const int s = static_cast<int>(stride);
+    const __m256i vidx = _mm256_setr_epi32(0, s, 2 * s, 3 * s, 4 * s, 5 * s,
+                                           6 * s, 7 * s);
+    words = _mm256_i32gather_epi32(reinterpret_cast<const int*>(first_slot),
+                                   vidx, 1);
+  }
+  const __m256i one = _mm256_set1_epi32(1);
+  const __m256i three = _mm256_set1_epi32(3);
+  SlotScan8 r;
+  r.busy_mask = static_cast<uint8_t>(_mm256_movemask_ps(_mm256_castsi256_ps(
+      _mm256_cmpeq_epi32(_mm256_and_si256(words, one), one))));
+  const __m256i state = _mm256_and_si256(_mm256_srli_epi32(words, 1), three);
+  for (int st = 0; st < 4; ++st) {
+    const uint8_t m = static_cast<uint8_t>(_mm256_movemask_ps(_mm256_castsi256_ps(
+        _mm256_cmpeq_epi32(state, _mm256_set1_epi32(st)))));
+    r.state_mask[st] = static_cast<uint8_t>(m & ~r.busy_mask);
+  }
+  return r;
+}
+
+}  // namespace detail
+#endif  // ALT_SIMD_X86
+
+}  // namespace simd
+}  // namespace alt

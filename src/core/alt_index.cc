@@ -122,7 +122,8 @@ Status AltIndex::BulkLoad(const Key* keys, const Value* values, size_t n) {
         2 * static_cast<uint64_t>(epsilon_) + 16;
     if (slots > cap) slots = cap;
     auto* model = new GplModel(first, scaled_slope, static_cast<uint32_t>(slots),
-                               static_cast<uint32_t>(seg.length));
+                               static_cast<uint32_t>(seg.length), ~Key{0},
+                               options_.use_huge_pages);
     for (size_t i = 0; i < seg.length; ++i) {
       const Key k = keys[seg.start + i];
       const Value v = values[seg.start + i];
@@ -1024,7 +1025,8 @@ void AltIndex::MaybeTriggerExpansion(GplModel* model) {
   }
   auto* new_model =
       new GplModel(model->first_key(), new_slope, static_cast<uint32_t>(new_slots),
-                   model->build_size() + model->insert_count(), coverage);
+                   model->build_size() + model->insert_count(), coverage,
+                   options_.use_huge_pages);
   new_model->set_fp_index(model->fp_index());
   // Until the finish sweep writes eligible ART keys back, EMPTY temporal
   // slots do not prove absence.
@@ -1129,7 +1131,8 @@ void AltIndex::AppendTailModelIfLast(const GplModel* published) {
   if (tail_first == ~Key{0}) return;  // infinite coverage: nothing to take over
   if (tail_first <= snap->first_keys[n - 1]) return;
   auto* tail = new GplModel(tail_first, published->slope(), options_.tail_model_slots,
-                            options_.tail_model_slots / 2);
+                            options_.tail_model_slots / 2, ~Key{0},
+                            options_.use_huge_pages);
   if (options_.enable_fast_pointers) {
     const int32_t slot = fp_buffer_.AddPointer(art_.root(), 0, 0);
     tail->set_fp_index(slot);

@@ -185,6 +185,7 @@ class AltIndex {
     size_t num_models = 0;
     size_t expanding_models = 0;  ///< models with an expansion installed
     size_t tail_models = 0;       ///< models with the zero-error invariant suspended
+    size_t huge_backed_models = 0;  ///< slot arrays on 2MB pages (DESIGN.md §10)
     size_t total_slots = 0;
     size_t slot_states[4] = {};  ///< by SlotState: empty/occupied/tombstone/migrated
     uint32_t min_segment = 0;    ///< smallest model build_size

@@ -105,7 +105,14 @@ class CAPABILITY("slot word lock") SlotWord {
 /// word.Lock() and word.Unlock(). Concurrent readers use the two
 /// ALT_OPTIMISTIC_PATH accessors — the sanctioned seqlock escape — and must
 /// discard the loads unless word.Validate(w) subsequently succeeds.
-struct GplSlot {
+///
+/// Padded to 32 bytes: together with the 64-byte-aligned slot arrays
+/// (aligned_mem.h) every slot occupies exactly half a cache line and no probe
+/// ever straddles a line boundary — previously 2 of every 8 slots did, and
+/// PrefetchSlot papered over it with a two-line prefetch. The fixed
+/// power-of-two stride also lets the §10 vector state scan cover one slot
+/// per 256-bit load.
+struct alignas(32) GplSlot {
   SlotWord word;
   std::atomic<Key> key GUARDED_BY(word){0};
   std::atomic<Value> value GUARDED_BY(word){0};
@@ -155,7 +162,10 @@ struct Expansion {
 /// \brief One GPL model: an anchored linear function over a gapped slot array
 /// where every resident key sits at exactly its predicted slot — the learned
 /// index layer has no prediction error by construction (§III-A).
-class GplModel {
+///
+/// alignas(64): the header starts on a cache-line boundary so the hot member
+/// block below maps onto exactly one line (C++17 aligned operator new).
+class alignas(64) GplModel {
  public:
   /// \param first_key anchor (first key of the segment)
   /// \param slope scaled positions-per-key-unit (already multiplied by the
@@ -168,8 +178,11 @@ class GplModel {
   ///        last one; they live exclusively in ART (no slot state), so a
   ///        later tail-model append (§III-F) can take over their range by
   ///        sweeping ART alone.
+  /// \param use_huge_pages back the slot array with 2MB transparent huge
+  ///        pages when it spans at least one (AltOptions::use_huge_pages;
+  ///        graceful 4KB fallback, see aligned_mem.h).
   GplModel(Key first_key, double slope, uint32_t num_slots, uint32_t build_size,
-           Key coverage_end = ~Key{0});
+           Key coverage_end = ~Key{0}, bool use_huge_pages = false);
 
   GplModel(const GplModel&) = delete;
   GplModel& operator=(const GplModel&) = delete;
@@ -191,9 +204,10 @@ class GplModel {
   GplSlot& slot(uint32_t i) { return slots_[i]; }
   const GplSlot& slot(uint32_t i) const { return slots_[i]; }
 
-  /// Batched read path stage hook: pull slot `i`'s lines (word + key + value
-  /// straddle a cache-line boundary for odd slots) before it is probed.
-  void PrefetchSlot(uint32_t i) const { PrefetchReadRange(&slots_[i], sizeof(GplSlot)); }
+  /// Batched read path stage hook: pull slot `i`'s line before it is probed.
+  /// One prefetch suffices — 32-byte slots in a 64-byte-aligned array never
+  /// straddle a line (enforced by static_asserts in gpl_model.cc).
+  void PrefetchSlot(uint32_t i) const { PrefetchRead(&slots_[i]); }
 
   /// Fast-pointer-buffer entry index for this model's key range (§III-C).
   int32_t fp_index() const { return fp_index_.load(std::memory_order_acquire); }
@@ -236,19 +250,30 @@ class GplModel {
   /// Approximate heap footprint of this model (slots + header).
   size_t MemoryBytes() const { return sizeof(GplModel) + sizeof(GplSlot) * num_slots_; }
 
+  /// True iff the slot array is 2MB-huge-page backed (stats / bench headers).
+  bool slots_huge_backed() const { return slots_huge_; }
+
   ~GplModel();
 
  private:
+  // Hot header: everything a point probe touches — route check
+  // (coverage_end_), prediction (first_key_, slope_, num_slots_), the slot
+  // base pointer, the expansion check, and the two ART-routing fields
+  // (fp_index_, strict_empty_) — packed into the first cache line of the
+  // 64-byte-aligned object, so a lookup reads exactly one header line
+  // (BLI-style hot/cold split, DESIGN.md §10).
   const Key first_key_;
   const double slope_;
-  const uint32_t num_slots_;
-  const uint32_t build_size_;
   const Key coverage_end_;
-  std::atomic<int32_t> fp_index_{-1};
-  std::atomic<uint32_t> insert_count_{0};
-  std::atomic<bool> strict_empty_{true};
+  GplSlot* slots_ = nullptr;
   std::atomic<Expansion*> expansion_{nullptr};
-  std::unique_ptr<GplSlot[]> slots_;
+  const uint32_t num_slots_;
+  std::atomic<int32_t> fp_index_{-1};
+  std::atomic<bool> strict_empty_{true};
+  // Cold tail (second line): write-path and teardown bookkeeping only.
+  const uint32_t build_size_;
+  std::atomic<uint32_t> insert_count_{0};
+  bool slots_huge_ = false;  ///< set once in the ctor; how slots_ is freed
 };
 
 }  // namespace alt

@@ -130,6 +130,8 @@ bool AltIndex::BatchStep(BatchCursor& c, Value* out, bool* found,
 
   switch (c.stage) {
     case Stage::kLocate: {
+      // Locate dispatches to the AVX2 8-way probe when available (§10); the
+      // window it sweeps is what issue()'s PrefetchLocate pulled.
       const ModelDirectory::Snapshot* snap = directory_.snapshot();
       const size_t idx = ModelDirectory::Locate(*snap, c.key);
       c.model = snap->models[idx].load(std::memory_order_acquire);
@@ -138,6 +140,7 @@ bool AltIndex::BatchStep(BatchCursor& c, Value* out, bool* found,
         // temporal-buffer dance (double probes, re-routing on kMigrated).
         return fallback();
       }
+      // One line covers the whole hot header (alignas(64) hot/cold split).
       PrefetchReadRange(c.model, kCacheLineBytes);
       c.stage = Stage::kModel;
       return false;

@@ -7,6 +7,7 @@
 
 #include "common/key_codec.h"
 #include "common/prefetch.h"
+#include "common/simd.h"
 #include "common/spinlock.h"
 #include "common/thread_annotations.h"
 #include "core/gpl_model.h"
@@ -54,45 +55,56 @@ class ModelDirectory {
   /// Current snapshot; caller must hold an EpochGuard.
   const Snapshot* snapshot() const { return snapshot_.load(std::memory_order_acquire); }
 
-  /// Batched read path stage hook: pull the first-key segment Locate will
-  /// binary-search for `key` (the radix bucket when present, else the middle
-  /// of the full window) so the upper-model search does not stall the group.
-  static void PrefetchLocate(const Snapshot& s, Key key) {
-    size_t lo = 0, hi = s.first_keys.size();
+  /// The search window Locate scans for a key: the key's radix bucket when
+  /// the table is present, else the full array. The single source of truth
+  /// for the radix narrowing — Locate (scalar and AVX2), LocateScalar, and
+  /// PrefetchLocate all route through here, so the paths cannot drift.
+  struct Window {
+    size_t lo = 0;
+    size_t hi = 0;
+  };
+  static Window LocateWindow(const Snapshot& s, Key key) {
+    Window w{0, s.first_keys.size()};
     if (s.radix_bits > 0) {
       const size_t r = static_cast<size_t>(key >> (64 - s.radix_bits));
-      PrefetchRead(&s.radix[r]);
-      lo = s.radix[r];
-      hi = s.radix[r + 1];
+      w.lo = s.radix[r];
+      w.hi = s.radix[r + 1];
     }
-    if (lo < hi) {
-      PrefetchRead(&s.first_keys[lo + (hi - lo) / 2]);
+    return w;
+  }
+
+  /// Batched read path stage hook: pull the first-key segment Locate will
+  /// search for `key` (the radix bucket when present, else the middle of the
+  /// full window) so the upper-model search does not stall the group.
+  static void PrefetchLocate(const Snapshot& s, Key key) {
+    const Window w = LocateWindow(s, key);
+    if (w.lo < w.hi) {
+      const size_t mid = w.lo + (w.hi - w.lo) / 2;
+      PrefetchRead(&s.first_keys[mid]);
       // The model-pointer cell is read right after the search resolves; its
       // array parallels first_keys, so the same midpoint is the best guess.
-      PrefetchRead(&s.models[lo + (hi - lo) / 2]);
+      PrefetchRead(&s.models[mid]);
     }
   }
 
   /// Index of the model responsible for `key`: the last model whose first_key
-  /// <= key (clamped to 0 for under-range keys).
+  /// <= key (clamped to 0 for under-range keys). Dispatches to the AVX2
+  /// 8-way probe when the CPU supports it (DESIGN.md §10); bit-identical to
+  /// LocateScalar by construction and by tests/simd_test.cc.
   static size_t Locate(const Snapshot& s, Key key) {
-    // Branch-reduced binary search over the sorted first-key array, narrowed
-    // to the key's radix bucket when the table is present.
-    size_t lo = 0, hi = s.first_keys.size();
-    if (s.radix_bits > 0) {
-      const size_t r = static_cast<size_t>(key >> (64 - s.radix_bits));
-      lo = s.radix[r];
-      hi = s.radix[r + 1];
-    }
-    while (lo < hi) {
-      const size_t mid = lo + (hi - lo) / 2;
-      if (s.first_keys[mid] <= key) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    return lo == 0 ? 0 : lo - 1;
+    const Window w = LocateWindow(s, key);
+    const size_t ub = simd::UpperBoundU64(s.first_keys.data(), w.lo, w.hi, key);
+    return ub == 0 ? 0 : ub - 1;
+  }
+
+  /// The always-compiled scalar twin (branch-reduced binary search over the
+  /// same window). Kept callable — not just a dispatch arm — as the oracle
+  /// for the vectorized-vs-scalar differential test.
+  static size_t LocateScalar(const Snapshot& s, Key key) {
+    const Window w = LocateWindow(s, key);
+    const size_t ub =
+        simd::UpperBoundU64Scalar(s.first_keys.data(), w.lo, w.hi, key);
+    return ub == 0 ? 0 : ub - 1;
   }
 
   /// Retraining finished: swap `old_model` (at the slot owning `first_key`)
@@ -113,9 +125,13 @@ class ModelDirectory {
   /// Sum of model footprints (quiescent).
   size_t MemoryBytes() const;
 
+  /// Populate `s->radix` / `s->radix_bits` over the already-sorted
+  /// `s->first_keys`. Public so the differential test can build directories
+  /// with adversarial first-key layouts without routing through Build.
+  static void BuildRadix(Snapshot* s, int radix_bits);
+
  private:
   static void RetireSnapshot(Snapshot* s);
-  static void BuildRadix(Snapshot* s, int radix_bits);
 
   /// Serializes structural changes (Build / PublishReplacement / AppendTail).
   /// Snapshots themselves stay readable lock-free through `snapshot_`.

@@ -78,6 +78,7 @@ AltIndex::StructuralStats AltIndex::CollectStructuralStats() const {
       st.total_slots += model->num_slots();
       model->CountSlotStates(st.slot_states);
       if (!model->strict_empty()) st.tail_models++;
+      if (model->slots_huge_backed()) st.huge_backed_models++;
 
       const uint32_t seg = model->build_size();
       st.min_segment = std::min(st.min_segment, seg);
@@ -134,6 +135,7 @@ std::string AltIndex::StructureJson() const {
   AppendKv("num_models", st.num_models, false, &out);
   AppendKv("expanding_models", st.expanding_models, false, &out);
   AppendKv("tail_models", st.tail_models, false, &out);
+  AppendKv("huge_backed_models", st.huge_backed_models, false, &out);
   AppendKv("total_slots", st.total_slots, false, &out);
   AppendKv("slots_empty", st.slot_states[0], false, &out);
   AppendKv("slots_occupied", st.slot_states[1], false, &out);

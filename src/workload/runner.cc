@@ -66,6 +66,41 @@ std::string RunJsonLine(const std::string& label, const char* phase,
     line += ",\"p50_ns\":" + std::to_string(result->p50_ns);
     line += ",\"p99_ns\":" + std::to_string(result->p99_ns);
     line += ",\"p999_ns\":" + std::to_string(result->p999_ns);
+    if (result->perf.enabled) {
+      const PerfStatResult& pf = result->perf;
+      line += ",\"perf\":{\"tier\":";
+      AppendJsonQuoted(pf.tier_name, &line);
+      line += ",\"available\":";
+      line += pf.tier != perf::Tier::kUnavailable ? "true" : "false";
+      line += ",\"ops\":" + std::to_string(pf.ops);
+      // Only the rows the active tier actually measured: a software-tier run
+      // must not report cycles_per_op=0 as if it were a measurement.
+      if (pf.tier == perf::Tier::kHardware) {
+        line += ",\"cycles_per_op\":";
+        AppendDouble(&line, pf.PerOp(pf.totals.cycles));
+        line += ",\"instructions_per_op\":";
+        AppendDouble(&line, pf.PerOp(pf.totals.instructions));
+        line += ",\"ipc\":";
+        AppendDouble(&line, pf.totals.cycles > 0
+                                ? static_cast<double>(pf.totals.instructions) /
+                                      static_cast<double>(pf.totals.cycles)
+                                : 0);
+        line += ",\"llc_misses_per_kop\":";
+        AppendDouble(&line, pf.PerKop(pf.totals.llc_misses));
+        line += ",\"branch_misses_per_kop\":";
+        AppendDouble(&line, pf.PerKop(pf.totals.branch_misses));
+        line += ",\"mux_scale\":";
+        AppendDouble(&line, pf.totals.scale);
+      } else if (pf.tier == perf::Tier::kSoftware) {
+        line += ",\"task_clock_ns_per_op\":";
+        AppendDouble(&line, pf.PerOp(pf.totals.task_clock_ns));
+        line += ",\"page_faults_per_kop\":";
+        AppendDouble(&line, pf.PerKop(pf.totals.page_faults));
+      }
+      line += ",\"tsc_cycles_per_op\":";
+      AppendDouble(&line, pf.PerOp(pf.totals.tsc_cycles));
+      line += '}';
+    }
     if (!result->path_stats.empty()) {
       line += ",\"paths\":[";
       bool first = true;
@@ -123,6 +158,43 @@ void PrintPathBreakdown(const RunResult& result, std::FILE* f) {
   }
 }
 
+void PrintPerfStat(const RunResult& result, std::FILE* f) {
+  const PerfStatResult& pf = result.perf;
+  if (!pf.enabled) return;
+  if (f == nullptr) f = stdout;
+  std::fprintf(f, "perf counters: %s\n", pf.tier_name.c_str());
+  if (pf.tier == perf::Tier::kHardware) {
+    std::fprintf(f, "  %-22s %12.1f\n", "cycles/op", pf.PerOp(pf.totals.cycles));
+    std::fprintf(f, "  %-22s %12.1f\n", "instructions/op",
+                 pf.PerOp(pf.totals.instructions));
+    std::fprintf(f, "  %-22s %12.2f\n", "IPC",
+                 pf.totals.cycles > 0
+                     ? static_cast<double>(pf.totals.instructions) /
+                           static_cast<double>(pf.totals.cycles)
+                     : 0.0);
+    std::fprintf(f, "  %-22s %12.2f\n", "LLC-misses/Kop",
+                 pf.PerKop(pf.totals.llc_misses));
+    std::fprintf(f, "  %-22s %12.2f\n", "branch-misses/Kop",
+                 pf.PerKop(pf.totals.branch_misses));
+    if (pf.totals.scale > 1.0) {
+      std::fprintf(f, "  %-22s %12.2f\n", "multiplex-scale", pf.totals.scale);
+    }
+  } else if (pf.tier == perf::Tier::kSoftware) {
+    std::fprintf(f, "  %-22s %12.1f\n", "task-clock-ns/op",
+                 pf.PerOp(pf.totals.task_clock_ns));
+    std::fprintf(f, "  %-22s %12.3f\n", "page-faults/Kop",
+                 pf.PerKop(pf.totals.page_faults));
+  } else {
+    std::fprintf(f,
+                 "  (hardware and software counters unavailable; TSC estimate "
+                 "only)\n");
+  }
+  // TSC reference cycles are always measured on x86-64 — the cycles-per-op
+  // estimate of record when the PMU is unavailable (VMs, containers).
+  std::fprintf(f, "  %-22s %12.1f\n", "tsc-ref-cycles/op",
+               pf.PerOp(pf.totals.tsc_cycles));
+}
+
 RunResult RunWorkload(ConcurrentIndex* index,
                       const std::vector<std::vector<Op>>& streams,
                       const RunOptions& options) {
@@ -130,10 +202,17 @@ RunResult RunWorkload(ConcurrentIndex* index,
   const size_t scan_length = options.scan_length;
   const size_t read_batch = options.read_batch > 0 ? options.read_batch : 1;
   const bool paths = options.path_breakdown;
+  const bool perf_stat = options.perf_stat;
   std::vector<LatencyHistogram> hists(static_cast<size_t>(num_threads));
   std::vector<PathGrid> grids(paths ? static_cast<size_t>(num_threads) : 0);
   std::vector<uint64_t> fails(static_cast<size_t>(num_threads), 0);
   std::vector<uint64_t> empties(static_cast<size_t>(num_threads), 0);
+  std::vector<perf::Reading> perf_readings(
+      perf_stat ? static_cast<size_t>(num_threads) : 0);
+  std::vector<perf::Tier> perf_tiers(
+      perf_stat ? static_cast<size_t>(num_threads) : 0, perf::Tier::kUnavailable);
+  std::vector<std::string> perf_errors(
+      perf_stat ? static_cast<size_t>(num_threads) : 0);
   std::atomic<int> ready{0};
   std::atomic<bool> go{false};
 
@@ -141,6 +220,16 @@ RunResult RunWorkload(ConcurrentIndex* index,
     const auto& stream = streams[static_cast<size_t>(tid)];
     LatencyHistogram& hist = hists[static_cast<size_t>(tid)];
     PathGrid* grid = paths ? &grids[static_cast<size_t>(tid)] : nullptr;
+    // Per-thread counter group, opened before the barrier (fd setup excluded
+    // from the measured window) and started only after `go` (barrier spin
+    // excluded too). Per-thread because inherited events cannot be read with
+    // PERF_FORMAT_GROUP, and a single group would multiplex across threads.
+    std::unique_ptr<perf::ThreadCounters> counters;
+    if (perf_stat) {
+      counters = std::make_unique<perf::ThreadCounters>();
+      perf_tiers[static_cast<size_t>(tid)] = counters->tier();
+      perf_errors[static_cast<size_t>(tid)] = counters->error();
+    }
     uint64_t failed = 0;
     uint64_t empty = 0;
     std::vector<std::pair<Key, Value>> scan_buf;
@@ -158,6 +247,7 @@ RunResult RunWorkload(ConcurrentIndex* index,
         Mix64(0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(tid)));
     ready.fetch_add(1, std::memory_order_acq_rel);
     while (!go.load(std::memory_order_acquire)) CpuRelax();
+    if (counters != nullptr) counters->Start();
     trace::Span worker_span("worker", "runner", stream.size());
     auto flush_reads = [&] {
       if (pending == 0) return;
@@ -226,6 +316,9 @@ RunResult RunWorkload(ConcurrentIndex* index,
       if (grid != nullptr) grid->Account(op.type, served, sample, ns);
     }
     if (read_batch > 1) flush_reads();
+    if (counters != nullptr) {
+      perf_readings[static_cast<size_t>(tid)] = counters->Stop();
+    }
     fails[static_cast<size_t>(tid)] = failed;
     empties[static_cast<size_t>(tid)] = empty;
   };
@@ -290,6 +383,23 @@ RunResult RunWorkload(ConcurrentIndex* index,
   r.p99_ns = merged.Percentile(0.99);
   r.p999_ns = merged.Percentile(0.999);
   r.mean_ns = merged.MeanNs();
+
+  if (perf_stat) {
+    r.perf.enabled = true;
+    r.perf.ops = r.total_ops;
+    for (const perf::Reading& reading : perf_readings) {
+      r.perf.totals.Accumulate(reading);
+    }
+    // All threads land on the same tier (same kernel, same paranoid level);
+    // report thread 0's, with its open-failure reason when degraded.
+    if (num_threads > 0) {
+      r.perf.tier = perf_tiers[0];
+      r.perf.tier_name = perf::TierName(perf_tiers[0], perf_errors[0]);
+    } else {
+      r.perf.tier_name = perf::TierName(perf::Tier::kUnavailable, "no worker threads");
+    }
+    r.perf.totals.tier = r.perf.tier;
+  }
 
   if (paths) {
     for (size_t cell = 0; cell < kNumPathCells; ++cell) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/index_interface.h"
+#include "common/perf_counters.h"
 #include "workload/workload.h"
 
 namespace alt {
@@ -23,6 +24,24 @@ struct PathStat {
   uint64_t p999_ns = 0;
 };
 
+/// Micro-architectural counters of one run (RunOptions::perf_stat): per-thread
+/// perf_event_open groups opened inside each worker (started after the go
+/// barrier, so fd setup and barrier spin are excluded), summed across threads.
+/// When the active tier lacks a counter the derived per-op value is reported
+/// as unavailable — never as a silent zero.
+struct PerfStatResult {
+  bool enabled = false;  ///< --perf_stat was requested
+  perf::Tier tier = perf::Tier::kUnavailable;
+  std::string tier_name;  ///< TierName() with the open-failure reason
+  perf::Reading totals;   ///< summed Stop() readings of all workers
+  uint64_t ops = 0;       ///< ops the counters cover (== RunResult::total_ops)
+
+  double PerOp(uint64_t total) const {
+    return ops > 0 ? static_cast<double>(total) / static_cast<double>(ops) : 0;
+  }
+  double PerKop(uint64_t total) const { return PerOp(total) * 1000.0; }
+};
+
 /// Aggregated result of one timed run.
 struct RunResult {
   double throughput_mops = 0;  ///< million operations per second
@@ -37,6 +56,8 @@ struct RunResult {
   /// Non-empty iff RunOptions::path_breakdown; rows with count > 0 only,
   /// ordered by (op, served).
   std::vector<PathStat> path_stats;
+  /// Populated iff RunOptions::perf_stat.
+  PerfStatResult perf;
 };
 
 /// Execution knobs for RunWorkload.
@@ -62,6 +83,12 @@ struct RunOptions {
   /// interface variants and keeps one extra histogram per (op, path) pair
   /// per thread.
   bool path_breakdown = false;
+  /// Sample micro-architectural counters per worker thread (perf_event_open;
+  /// see common/perf_counters.h for the hardware/software/unavailable tiers)
+  /// into RunResult::perf and the "perf" object of the final metrics JSON
+  /// line. Off by default: opening counter groups costs a few syscalls per
+  /// thread and the Start/Stop ioctls bracket the measured loop.
+  bool perf_stat = false;
 };
 
 /// \brief Execute pre-generated per-thread op streams against `index` with
@@ -95,5 +122,12 @@ const char* OpTypeName(OpType t);
 /// Print RunResult::path_stats as an aligned table to `f` (default stdout).
 /// No-op when path_stats is empty.
 void PrintPathBreakdown(const RunResult& result, std::FILE* f = nullptr);
+
+/// Print RunResult::perf as a human-readable block to `f` (default stdout):
+/// the active tier plus the per-op counter rows that tier supports. A failed
+/// perf_event_open prints a clearly marked "unavailable" line (with the
+/// errno text) and the TSC estimate — never zeros posing as measurements.
+/// No-op when perf_stat was not requested.
+void PrintPerfStat(const RunResult& result, std::FILE* f = nullptr);
 
 }  // namespace alt

@@ -1,0 +1,148 @@
+// Tests for the perf_event_open harness (common/perf_counters.h) and its
+// runner integration. The harness must work — or degrade loudly — on any
+// kernel configuration: bare metal (hardware tier), VMs/containers without a
+// PMU (software tier), and seccomp'd sandboxes (unavailable tier). The tests
+// therefore assert tier-consistent behaviour, not a specific tier.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/factory.h"
+#include "common/epoch.h"
+#include "common/perf_counters.h"
+#include "workload/runner.h"
+#include "workload/workload.h"
+
+namespace alt {
+namespace {
+
+TEST(PerfCountersTest, StartStopProducesTierConsistentReading) {
+  perf::ThreadCounters tc;
+  tc.Start();
+  // A measurable busy loop (the compiler must not fold it away).
+  volatile uint64_t sink = 0;
+  for (uint64_t i = 0; i < 2000000; ++i) sink = sink + i;
+  const perf::Reading r = tc.Stop();
+  EXPECT_EQ(r.tier, tc.tier());
+  EXPECT_GE(r.scale, 1.0);
+  switch (tc.tier()) {
+    case perf::Tier::kHardware:
+      EXPECT_GT(r.cycles, 0u);
+      EXPECT_GT(r.instructions, 0u);
+      break;
+    case perf::Tier::kSoftware:
+      EXPECT_GT(r.task_clock_ns, 0u);
+      EXPECT_EQ(r.cycles, 0u);  // never fabricated
+      break;
+    case perf::Tier::kUnavailable:
+      EXPECT_FALSE(tc.error().empty());
+      break;
+  }
+#if defined(__x86_64__)
+  EXPECT_GT(r.tsc_cycles, 0u);
+#endif
+}
+
+TEST(PerfCountersTest, TierNameAlwaysExplainsDegradation) {
+  perf::ThreadCounters tc;
+  const std::string name = perf::TierName(tc.tier(), tc.error());
+  EXPECT_FALSE(name.empty());
+  if (tc.tier() == perf::Tier::kHardware) {
+    EXPECT_EQ(name, "hardware");
+  } else {
+    // Degraded tiers must carry the open-failure reason, so a report line
+    // can never silently pass off zeros as measurements.
+    EXPECT_NE(name.find('('), std::string::npos) << name;
+    EXPECT_FALSE(tc.error().empty());
+  }
+}
+
+TEST(PerfCountersTest, AccumulateSumsAndKeepsWorstScale) {
+  perf::Reading a;
+  a.cycles = 100;
+  a.task_clock_ns = 5;
+  a.tsc_cycles = 7;
+  a.scale = 1.5;
+  perf::Reading b;
+  b.cycles = 23;
+  b.task_clock_ns = 2;
+  b.tsc_cycles = 3;
+  b.scale = 1.2;
+  a.Accumulate(b);
+  EXPECT_EQ(a.cycles, 123u);
+  EXPECT_EQ(a.task_clock_ns, 7u);
+  EXPECT_EQ(a.tsc_cycles, 10u);
+  EXPECT_DOUBLE_EQ(a.scale, 1.5);
+}
+
+TEST(PerfCountersTest, RepeatedStartStopIsStable) {
+  perf::ThreadCounters tc;
+  for (int round = 0; round < 3; ++round) {
+    tc.Start();
+    volatile uint64_t sink = 0;
+    for (uint64_t i = 0; i < 100000; ++i) sink = sink + i;
+    const perf::Reading r = tc.Stop();
+    EXPECT_EQ(r.tier, tc.tier()) << "round " << round;
+  }
+}
+
+TEST(PerfStatRunnerTest, RunWorkloadFillsPerfResult) {
+  auto index = MakeIndex("alt", AltOptions{});
+  ASSERT_NE(index, nullptr);
+  std::vector<Key> keys;
+  std::vector<Value> values;
+  for (Key k = 1; k <= 5000; ++k) {
+    keys.push_back(k * 10);
+    values.push_back(k);
+  }
+  ASSERT_TRUE(index->BulkLoad(keys.data(), values.data(), keys.size()).ok());
+  std::vector<std::vector<Op>> streams(2);
+  for (int t = 0; t < 2; ++t) {
+    for (int i = 0; i < 20000; ++i) {
+      streams[static_cast<size_t>(t)].push_back(
+          Op{OpType::kRead, keys[static_cast<size_t>(i) % keys.size()]});
+    }
+  }
+  RunOptions opts;
+  opts.perf_stat = true;
+  const RunResult r = RunWorkload(index.get(), streams, opts);
+  EXPECT_EQ(r.failed_ops, 0u);
+  ASSERT_TRUE(r.perf.enabled);
+  EXPECT_EQ(r.perf.ops, r.total_ops);
+  EXPECT_FALSE(r.perf.tier_name.empty());
+#if defined(__x86_64__)
+  // Whatever the tier, the TSC estimate is real data: a read costs cycles.
+  EXPECT_GT(r.perf.PerOp(r.perf.totals.tsc_cycles), 0.0);
+#endif
+  if (r.perf.tier == perf::Tier::kHardware) {
+    EXPECT_GT(r.perf.PerOp(r.perf.totals.cycles), 0.0);
+    EXPECT_GT(r.perf.PerOp(r.perf.totals.instructions), 0.0);
+  } else if (r.perf.tier == perf::Tier::kSoftware) {
+    EXPECT_GT(r.perf.PerOp(r.perf.totals.task_clock_ns), 0.0);
+  }
+  // The human rendering never crashes regardless of tier.
+  PrintPerfStat(r, stderr);
+  index.reset();
+  EpochManager::Global().DrainAll();
+}
+
+TEST(PerfStatRunnerTest, DisabledByDefaultCostsNothing) {
+  auto index = MakeIndex("alt", AltOptions{});
+  ASSERT_NE(index, nullptr);
+  std::vector<Key> keys{10, 20, 30};
+  std::vector<Value> values{1, 2, 3};
+  ASSERT_TRUE(index->BulkLoad(keys.data(), values.data(), keys.size()).ok());
+  std::vector<std::vector<Op>> streams(1);
+  streams[0].push_back(Op{OpType::kRead, 20});
+  const RunResult r = RunWorkload(index.get(), streams, RunOptions{});
+  EXPECT_FALSE(r.perf.enabled);
+  PrintPerfStat(r, stderr);  // no-op, must not print or crash
+  index.reset();
+  EpochManager::Global().DrainAll();
+}
+
+}  // namespace
+}  // namespace alt
