@@ -3,10 +3,11 @@
 # jobs in .github/workflows/ci.yml (see DESIGN.md "Locking protocol" for what
 # each leg is expected to catch).
 #
-# Usage: scripts/run_sanitizers.sh [asan|ubsan|tsan|all]
+# Usage: scripts/run_sanitizers.sh [asan|ubsan|tsan|lint|all]
 #   asan   ASan+UBSan combined, debug checkers on, full ctest  (CI: address-undefined-sanitizer)
 #   ubsan  UBSan alone, full ctest                             (CI: undefined-sanitizer)
 #   tsan   TSan over the concurrency-heavy binaries            (CI: thread-sanitizer)
+#   lint   build tools/alt_lint and run it over src/           (CI: alt-lint)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -46,10 +47,24 @@ run_tsan() {
   done
 }
 
+run_lint() {
+  # Mirrors the alt-lint CI leg: the protocol checker over all of src/, driven
+  # off the exported compilation database so a .cc missing from the build is a
+  # failure, not a silent skip. The tool is dependency-free, so this is the
+  # cheapest mode here by far.
+  cmake -B build-lint "${gen[@]}" -DALT_BUILD_LINT=ON \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    -DALT_BUILD_TESTS=OFF -DALT_BUILD_BENCHMARKS=OFF -DALT_BUILD_EXAMPLES=OFF
+  cmake --build build-lint -j --target alt-lint
+  ./build-lint/tools/alt_lint/alt-lint \
+    --compdb build-lint/compile_commands.json --src-root src --verify-compdb
+}
+
 case "$mode" in
   asan) run_asan ;;
   ubsan) run_ubsan ;;
   tsan) run_tsan ;;
-  all) run_asan; run_ubsan; run_tsan ;;
-  *) echo "usage: $0 [asan|ubsan|tsan|all]" >&2; exit 2 ;;
+  lint) run_lint ;;
+  all) run_lint; run_asan; run_ubsan; run_tsan ;;
+  *) echo "usage: $0 [asan|ubsan|tsan|lint|all]" >&2; exit 2 ;;
 esac

@@ -547,6 +547,9 @@ StepResult ArtTree::DescentStep(DescentState* s, Key key, Value* out, int* steps
 
 // ---- Insert ----------------------------------------------------------------
 
+// OLC writer escape: every node crossing is version-checked (CheckOrRestart)
+// and lock acquisition is a conditional upgrade (UpgradeToWriteLockOrRestart);
+// any mismatch restarts from `start`.
 ArtTree::OpResult ArtTree::InsertImpl(Node* start, Node* start_parent,
                                       uint8_t start_parent_byte, Key key,
                                       Value value) ALT_OPTIMISTIC_PATH {
@@ -776,6 +779,8 @@ bool ArtTree::Update(Key key, Value value) {
 
 // ---- Remove ----------------------------------------------------------------
 
+// Same restart-validated OLC escape as InsertImpl: version checks at every
+// crossing, conditional upgrades, restart on mismatch.
 ArtTree::OpResult ArtTree::RemoveImpl(Key key, Value* old_value) ALT_OPTIMISTIC_PATH {
   bool restart = false;
   Node* parent = nullptr;

@@ -75,7 +75,8 @@ class ArtTree {
 
   /// Lookup resuming at `hint` (depth = hint->match_level). The caller must
   /// have validated that `key` shares the hint entry's prefix.
-  HintOutcome LookupFrom(Node* hint, Key key, Value* out, int* steps = nullptr) const;
+  HintOutcome LookupFrom(Node* hint, Key key, Value* out,
+                         int* steps = nullptr) const ALT_REQUIRES_EPOCH;
 
   /// \brief Resumable lookup cursor for the batched read path: one
   /// DescentStep call performs one tree level of work (prefix match + child
@@ -106,20 +107,21 @@ class ArtTree {
 
   /// Begin a descent at `start` (the root or a fast-pointer hint).
   /// \return false if `start` is obsolete (hint went stale) — pick a new start.
-  bool DescentInit(Node* start, DescentState* s) const;
+  bool DescentInit(Node* start, DescentState* s) const ALT_REQUIRES_EPOCH;
 
   /// Advance the descent by one node. On kStepped the next node's cache lines
   /// have been prefetched; process other keys before stepping again.
   /// \param steps if non-null, incremented once per node visited (same
   ///        accounting as Lookup's `steps`).
-  StepResult DescentStep(DescentState* s, Key key, Value* out, int* steps = nullptr) const;
+  StepResult DescentStep(DescentState* s, Key key, Value* out,
+                         int* steps = nullptr) const ALT_REQUIRES_EPOCH;
 
   /// Insert; \return false if the key already exists (value left unchanged).
   bool Insert(Key key, Value value);
 
   /// Insert resuming at `hint`. Returns kNeedRoot when the required structure
   /// modification involves the hint node itself (its parent is unknown here).
-  HintOutcome InsertFrom(Node* hint, Key key, Value value);
+  HintOutcome InsertFrom(Node* hint, Key key, Value value) ALT_REQUIRES_EPOCH;
 
   /// Overwrite the value of an existing key. \return false if absent.
   bool Update(Key key, Value value);
@@ -188,6 +190,7 @@ class ArtTree {
   // dynamically under ALT_DEBUG_CHECKS and by the sanitizer CI matrix.
   OpResult InsertImpl(Node* start, Node* start_parent, uint8_t start_parent_byte,
                       Key key, Value value) ALT_OPTIMISTIC_PATH;
+  // Same restart-validated OLC escape as InsertImpl above.
   OpResult RemoveImpl(Key key, Value* old_value) ALT_OPTIMISTIC_PATH;
 
   bool ScanCollect(const Node* node, Key acc, Key lo, Key hi, size_t max_items,

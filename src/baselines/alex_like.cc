@@ -171,6 +171,8 @@ bool AlexLike::Lookup(Key key, Value* out) {
   }
 }
 
+// Optimistic escape: per-node version locks are re-validated before any
+// observed state is trusted; a mismatch restarts the whole operation.
 bool AlexLike::Insert(Key key, Value value) ALT_OPTIMISTIC_PATH {
   EpochGuard g;
   for (;;) {
@@ -268,6 +270,8 @@ bool AlexLike::Insert(Key key, Value value) ALT_OPTIMISTIC_PATH {
   }
 }
 
+// Conditional acquire (WriteLockOrFail) + directory snapshot re-validation;
+// gives up if the node went stale, so losers never mutate a retired node.
 void AlexLike::SplitNode(DataNode* node) ALT_OPTIMISTIC_PATH {
   if (!node->lock.WriteLockOrFail()) return;  // already split by someone else
   // Verify the node is still current (another thread may have split it).
@@ -304,6 +308,7 @@ void AlexLike::SplitNode(DataNode* node) ALT_OPTIMISTIC_PATH {
   // The directory retired `node` storage-wise; nothing else to do.
 }
 
+// Same version-validated restart loop as Insert.
 bool AlexLike::Update(Key key, Value value) ALT_OPTIMISTIC_PATH {
   EpochGuard g;
   for (;;) {
@@ -327,6 +332,7 @@ bool AlexLike::Update(Key key, Value value) ALT_OPTIMISTIC_PATH {
   }
 }
 
+// Same version-validated restart loop as Insert.
 bool AlexLike::Remove(Key key) ALT_OPTIMISTIC_PATH {
   EpochGuard g;
   for (;;) {

@@ -109,6 +109,8 @@ restart:
   }
 }
 
+// Optimistic escape: descent re-validates node versions and restarts on any
+// concurrent structure change (goto restart), under an EpochGuard.
 bool LippLike::Insert(Key key, Value value) ALT_OPTIMISTIC_PATH {
   EpochGuard g;
   int depth = 0;
@@ -187,6 +189,7 @@ restart:
   }
 }
 
+// Same version-validated restart descent as Insert.
 bool LippLike::Update(Key key, Value value) ALT_OPTIMISTIC_PATH {
   EpochGuard g;
 restart:
@@ -231,6 +234,7 @@ restart:
   }
 }
 
+// Same version-validated restart descent as Insert.
 bool LippLike::Remove(Key key) ALT_OPTIMISTIC_PATH {
   EpochGuard g;
 restart:
@@ -342,6 +346,8 @@ void LippLike::CollectAndObsolete(Node* node,
                                 [](void* p) { delete static_cast<Node*>(p); });
 }
 
+// Optimistic escape: anchor versions re-validated (restart flag) before the
+// rebuilt subtree is published; losers retry with a deeper anchor.
 void LippLike::RebuildSubtreeFor(Key key, int anchor_depth) ALT_OPTIMISTIC_PATH {
   if (anchor_depth < 2) anchor_depth = 2;
   for (int attempt = 0; attempt < 8; ++attempt) {

@@ -117,6 +117,8 @@ void OlcBTree::SplitRoot(Node* node, uint64_t v, bool* restarted) ALT_OPTIMISTIC
   meta_lock_.WriteUnlock();
 }
 
+// OLC escape: conditional upgrades (UpgradeToWriteLockOrRestart) against the
+// versions observed by the caller; any mismatch restarts the insert.
 void OlcBTree::SplitChild(Inner* parent, uint64_t pv, Node* child, uint64_t cv,
                           bool* restarted) ALT_OPTIMISTIC_PATH {
   *restarted = true;
@@ -228,6 +230,8 @@ bool OlcBTree::Lookup(Key key, Value* out) {
   }
 }
 
+// OLC escape: read-lock coupling (ReadLockOrRestart/CheckOrRestart) with
+// conditional write upgrades; every mismatch restarts from the root.
 OlcBTree::Op OlcBTree::InsertImpl(Key key, Value value) ALT_OPTIMISTIC_PATH {
   bool restart = false;
   uint64_t mv = meta_lock_.ReadLockOrRestart(&restart);
@@ -298,6 +302,7 @@ bool OlcBTree::Insert(Key key, Value value) {
   }
 }
 
+// Same restart-validated OLC coupling as InsertImpl.
 bool OlcBTree::Update(Key key, Value value) ALT_OPTIMISTIC_PATH {
   for (;;) {
     bool restart = false;
@@ -337,6 +342,7 @@ bool OlcBTree::Update(Key key, Value value) ALT_OPTIMISTIC_PATH {
   }
 }
 
+// Same restart-validated OLC coupling as InsertImpl.
 OlcBTree::Op OlcBTree::RemoveImpl(Key key) ALT_OPTIMISTIC_PATH {
   bool restart = false;
   uint64_t mv = meta_lock_.ReadLockOrRestart(&restart);

@@ -21,8 +21,11 @@ namespace alt {
 ///    implementations and irrelevant to the paper's insert/lookup workloads.
 ///
 /// Thread-safety matches the other indexes: BulkLoad first, then any mix of
-/// concurrent operations under the caller's EpochGuard-free API (the tree
-/// retires replaced nodes via the global epoch manager internally).
+/// concurrent operations, no EpochGuard needed. The tree never frees a node
+/// mid-operation: a split keeps the original node as the left half and only
+/// allocates a new sibling, removals are lazy, and every node lives until the
+/// destructor — so nothing is ever retired through the epoch manager and
+/// callers carry no epoch obligation.
 class OlcBTree : public ConcurrentIndex {
  public:
   OlcBTree();

@@ -9,7 +9,8 @@
 namespace alt {
 namespace simd {
 
-SlotScan8 ScanSlotWords8Scalar(const void* first_slot, size_t stride) {
+SlotScan8 ScanSlotWords8Scalar(const void* first_slot,
+                               size_t stride) ALT_REQUIRES_EPOCH {
   SlotScan8 r;
   const auto* base = static_cast<const unsigned char*>(first_slot);
   for (int lane = 0; lane < 8; ++lane) {
@@ -75,7 +76,7 @@ __attribute__((target("avx2"))) size_t UpperBoundU64Avx2(const uint64_t* data,
 }
 
 __attribute__((target("avx2"))) SlotScan8 ScanSlotWords8Avx2(
-    const void* first_slot, size_t stride) {
+    const void* first_slot, size_t stride) ALT_REQUIRES_EPOCH {
   const auto* base = static_cast<const unsigned char*>(first_slot);
   __m256i words;
   if (stride == 32) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "common/cpu_features.h"
+#include "common/lint_annotations.h"
 
 namespace alt {
 namespace simd {
@@ -79,16 +80,19 @@ struct SlotScan8 {
 /// Scalar twin of the gather kernel; also the oracle for the differential
 /// test. Reads the words with plain loads like the vector path so both see
 /// the same (possibly in-flight) values under concurrency.
-SlotScan8 ScanSlotWords8Scalar(const void* first_slot, size_t stride);
+SlotScan8 ScanSlotWords8Scalar(const void* first_slot, size_t stride)
+    ALT_REQUIRES_EPOCH;
 
 #if ALT_SIMD_X86
 namespace detail {
 /// AVX2 gather kernel (simd.cc, target("avx2")).
-SlotScan8 ScanSlotWords8Avx2(const void* first_slot, size_t stride);
+SlotScan8 ScanSlotWords8Avx2(const void* first_slot, size_t stride)
+    ALT_REQUIRES_EPOCH;
 }  // namespace detail
 #endif
 
-inline SlotScan8 ScanSlotWords8(const void* first_slot, size_t stride) {
+inline SlotScan8 ScanSlotWords8(const void* first_slot,
+                                size_t stride) ALT_REQUIRES_EPOCH {
 #if ALT_SIMD_X86
   if (cpu::SimdEnabled()) return detail::ScanSlotWords8Avx2(first_slot, stride);
 #endif

@@ -60,7 +60,10 @@ class CAPABILITY("mutex") SpinLock {
 /// instead of std::lock_guard<SpinLock>).
 class SCOPED_CAPABILITY SpinLockGuard {
  public:
+  // ALT_LINT_ALLOW(alt-raw-lock): RAII guard implementation — the one place
+  // SpinLock::lock()/unlock() are driven by hand.
   explicit SpinLockGuard(SpinLock& lock) ACQUIRE(lock) : lock_(lock) { lock_.lock(); }
+  // ALT_LINT_ALLOW(alt-raw-lock): RAII guard implementation (see ctor).
   ~SpinLockGuard() RELEASE() { lock_.unlock(); }
 
   SpinLockGuard(const SpinLockGuard&) = delete;

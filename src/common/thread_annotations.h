@@ -24,6 +24,8 @@
 ///    lockset model. Every ALT_OPTIMISTIC_PATH use must carry a comment naming
 ///    the validation that makes it safe.
 
+#include "common/lint_annotations.h"
+
 #if defined(__clang__) && !defined(SWIG)
 #define ALT_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
 #else

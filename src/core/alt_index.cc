@@ -179,7 +179,8 @@ Status AltIndex::BulkLoad(const Key* keys, const Value* values, size_t n) {
 // ---------------------------------------------------------------------------
 
 AltIndex::Probe AltIndex::ProbeSlot(const GplModel* model, Key key, Value* out,
-                                    const GplSlot** slot_out, uint32_t* word_out) const {
+                                    const GplSlot** slot_out,
+                                    uint32_t* word_out) const ALT_REQUIRES_EPOCH {
   if (key >= model->coverage_end()) {
     // Out-of-coverage keys are never stored in slots (see GplModel ctor doc);
     // ART is their authoritative home and there is no slot to validate.
@@ -217,7 +218,7 @@ AltIndex::Probe AltIndex::ProbeSlot(const GplModel* model, Key key, Value* out,
 }
 
 bool AltIndex::ArtLookup(const GplModel* model, Key key, Value* out,
-                         ServedBy* served) const {
+                         ServedBy* served) const ALT_REQUIRES_EPOCH {
   int steps = 0;
   bool found = false;
   bool used_hint = false;
@@ -250,7 +251,8 @@ bool AltIndex::ArtLookup(const GplModel* model, Key key, Value* out,
   return found;
 }
 
-bool AltIndex::ArtInsert(GplModel* model, Key key, Value value) {
+bool AltIndex::ArtInsert(GplModel* model, Key key,
+                         Value value) ALT_REQUIRES_EPOCH {
   const int32_t fpi = model->fp_index();
   if (options_.enable_fast_pointers && fpi >= 0) {
     const FastPointerBuffer::Ref ref = fp_buffer_.Get(fpi);
@@ -507,8 +509,8 @@ bool AltIndex::InsertInternal(Key key, Value value, ServedBy* served) {
   }
 }
 
-bool AltIndex::InsertExpanding(GplModel* model, Expansion* exp, Key key, Value value,
-                               bool* retry) {
+bool AltIndex::InsertExpanding(GplModel* model, Expansion* exp, Key key,
+                               Value value, bool* retry) ALT_REQUIRES_EPOCH {
   *retry = false;
   GplModel* nm = exp->new_model;
   if (key >= nm->coverage_end()) {
@@ -573,7 +575,8 @@ bool AltIndex::InsertExpanding(GplModel* model, Expansion* exp, Key key, Value v
   return false;
 }
 
-void AltIndex::MigrateInto(GplModel* new_model, Key key, Value value) {
+void AltIndex::MigrateInto(GplModel* new_model, Key key,
+                           Value value) ALT_REQUIRES_EPOCH {
   if (key >= new_model->coverage_end()) {
     // Pre-expansion clamp-slot resident beyond the new coverage: its home is
     // now ART (a future tail model takes the range over from there).
@@ -599,7 +602,7 @@ void AltIndex::MigrateInto(GplModel* new_model, Key key, Value value) {
 }
 
 bool AltIndex::InsertIntoNewModel(GplModel* old_model, Expansion* exp, Key key,
-                                  Value value, bool* retry) {
+                                  Value value, bool* retry) ALT_REQUIRES_EPOCH {
   GplModel* nm = exp->new_model;
   assert(key < nm->coverage_end() && "routed by InsertExpanding");
   for (;;) {
@@ -1044,13 +1047,15 @@ void AltIndex::MaybeTriggerExpansion(GplModel* model) {
   trace::RecordInstant("retrain_start", "retrain", model->first_key());
 }
 
-void AltIndex::MaybeFinishExpansion(GplModel* model, Expansion* exp) {
+void AltIndex::MaybeFinishExpansion(GplModel* model,
+                                    Expansion* exp) ALT_REQUIRES_EPOCH {
   if (exp->new_inserts.load(std::memory_order_relaxed) < exp->finish_threshold) return;
   if (exp->finishing.exchange(true, std::memory_order_acq_rel)) return;
   FinishExpansion(model, exp);
 }
 
-void AltIndex::FinishExpansion(GplModel* model, Expansion* exp) {
+void AltIndex::FinishExpansion(GplModel* model,
+                               Expansion* exp) ALT_REQUIRES_EPOCH {
   GplModel* nm = exp->new_model;
   trace::Span finish_span("retrain_finish", "retrain", model->first_key());
 

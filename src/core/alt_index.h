@@ -226,43 +226,47 @@ class AltIndex {
   /// Read `model`'s predicted slot for `key`. On kHit, *out is set. Returns
   /// the observed slot + word so callers can re-validate after an ART miss.
   Probe ProbeSlot(const GplModel* model, Key key, Value* out, const GplSlot** slot_out,
-                  uint32_t* word_out) const;
+                  uint32_t* word_out) const ALT_REQUIRES_EPOCH;
 
   /// Secondary search in ART-OPT via the model's fast pointer (root fallback).
   /// `served` (optional) receives the attribution of the terminal descent.
   bool ArtLookup(const GplModel* model, Key key, Value* out,
-                 ServedBy* served = nullptr) const;
+                 ServedBy* served = nullptr) const ALT_REQUIRES_EPOCH;
 
   /// Insert into ART-OPT via the model's fast pointer; updates conflict stats.
   /// \return true if inserted, false if the key already existed.
-  bool ArtInsert(GplModel* model, Key key, Value value);
+  bool ArtInsert(GplModel* model, Key key, Value value) ALT_REQUIRES_EPOCH;
 
-  bool LookupInternal(Key key, Value* out, ServedBy* served = nullptr) const;
+  bool LookupInternal(Key key, Value* out,
+                      ServedBy* served = nullptr) const ALT_REQUIRES_EPOCH;
 
   /// Batched read path internals (defined in lookup_batch.cc).
   struct BatchCursor;
   struct BatchStatsDelta;
   /// Advance one in-flight lookup by one pipeline stage. \return true when
   /// the cursor reached a terminal state (result written).
-  bool BatchStep(BatchCursor& c, Value* out, bool* found, BatchStatsDelta* st) const;
-  bool InsertInternal(Key key, Value value, ServedBy* served = nullptr);
-  bool RemoveInternal(Key key, ServedBy* served = nullptr);
-  bool UpdateInternal(Key key, Value value, ServedBy* served = nullptr);
+  bool BatchStep(BatchCursor& c, Value* out, bool* found,
+                 BatchStatsDelta* st) const ALT_REQUIRES_EPOCH;
+  bool InsertInternal(Key key, Value value,
+                      ServedBy* served = nullptr) ALT_REQUIRES_EPOCH;
+  bool RemoveInternal(Key key, ServedBy* served = nullptr) ALT_REQUIRES_EPOCH;
+  bool UpdateInternal(Key key, Value value,
+                      ServedBy* served = nullptr) ALT_REQUIRES_EPOCH;
 
   /// Slow path: model under §III-F expansion. \return true if inserted,
   /// false if the key exists; sets *retry when the caller must re-run.
   bool InsertExpanding(GplModel* model, Expansion* exp, Key key, Value value,
-                       bool* retry);
+                       bool* retry) ALT_REQUIRES_EPOCH;
 
   /// Place (key, value) into the temporal buffer; conflicts go to ART.
   /// Used for victim migration (never fails; victims are unique).
-  void MigrateInto(GplModel* new_model, Key key, Value value);
+  void MigrateInto(GplModel* new_model, Key key, Value value) ALT_REQUIRES_EPOCH;
 
   /// Insert a *new* key into the temporal buffer (dup checks against ART).
   /// \return true if inserted, false if the key already exists; sets *retry
   /// when the buffer was published and is itself migrating (stale caller).
   bool InsertIntoNewModel(GplModel* old_model, Expansion* exp, Key key, Value value,
-                          bool* retry);
+                          bool* retry) ALT_REQUIRES_EPOCH;
 
   /// Post-ART-insert repair for routing races: if a concurrently appended
   /// tail model now owns `key`'s range and would answer "absent" from an
@@ -271,8 +275,8 @@ class AltIndex {
   void EnsureArtKeyVisible(Key key);
 
   void MaybeTriggerExpansion(GplModel* model);
-  void MaybeFinishExpansion(GplModel* model, Expansion* exp);
-  void FinishExpansion(GplModel* model, Expansion* exp);
+  void MaybeFinishExpansion(GplModel* model, Expansion* exp) ALT_REQUIRES_EPOCH;
+  void FinishExpansion(GplModel* model, Expansion* exp) ALT_REQUIRES_EPOCH;
   void AppendTailModelIfLast(const GplModel* published);
 
   AltOptions options_;

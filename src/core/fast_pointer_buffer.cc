@@ -34,8 +34,11 @@ int32_t FastPointerBuffer::AddPointer(art::Node* node, int depth, Key prefix) {
   return static_cast<int32_t>(idx);
 }
 
+// Optimistic read, validated by caller: the returned Ref is only trusted
+// after the ART descent it seeds passes version validation (a stale node
+// restarts the descent from the root).
 FastPointerBuffer::Ref FastPointerBuffer::Get(int32_t slot) const
-    ALT_OPTIMISTIC_PATH {
+    ALT_OPTIMISTIC_PATH ALT_REQUIRES_EPOCH {
   const Entry& e = EntryAt(static_cast<size_t>(slot));
   const uint64_t meta = e.meta.load(std::memory_order_acquire);
   art::Node* node = e.node.load(std::memory_order_acquire);

@@ -47,8 +47,10 @@ class FastPointerBuffer : public art::ArtStructureListener {
   /// already has an entry, returns that one (merge scheme). Thread-safe.
   int32_t AddPointer(art::Node* node, int depth, Key prefix);
 
-  /// Current target of entry `slot` (lock-free read; see class comment).
-  Ref Get(int32_t slot) const ALT_OPTIMISTIC_PATH;
+  /// Current target of entry `slot`. Optimistic lock-free read, validated by
+  /// caller: a stale Ref is caught by the ART descent's version validation
+  /// (kRestart) and falls back to a root traversal — see class comment.
+  Ref Get(int32_t slot) const ALT_OPTIMISTIC_PATH ALT_REQUIRES_EPOCH;
 
   /// Batched read path stage hook: pull entry `slot`'s line ahead of Get so a
   /// kGoArt outcome can resolve its fast pointer without stalling the group.

@@ -51,7 +51,7 @@ GplModel::~GplModel() {
                slots_huge_);
 }
 
-uint32_t GplModel::CountOccupied() const {
+uint32_t GplModel::CountOccupied() const ALT_REQUIRES_EPOCH {
   uint32_t n = 0;
   uint32_t i = 0;
   // Hoisted dispatch: one vector step classifies 8 slots (a gather over the
@@ -79,7 +79,7 @@ uint32_t GplModel::CountOccupied() const {
   return n;
 }
 
-void GplModel::CountSlotStates(size_t counts[4]) const {
+void GplModel::CountSlotStates(size_t counts[4]) const ALT_REQUIRES_EPOCH {
   uint32_t i = 0;
   if (cpu::SimdEnabled()) {
     for (; i + 8 <= num_slots_; i += 8) {
@@ -104,7 +104,7 @@ void GplModel::CountSlotStates(size_t counts[4]) const {
 }
 
 void GplModel::CollectRange(Key lo, Key hi, std::vector<std::pair<Key, Value>>* out,
-                            size_t limit) const {
+                            size_t limit) const ALT_REQUIRES_EPOCH {
   size_t appended = 0;
   const bool vec = cpu::SimdEnabled();
   uint32_t skip_run = 0;  // consecutive non-occupied slots seen by the scalar probe

@@ -117,14 +117,15 @@ struct alignas(32) GplSlot {
   std::atomic<Key> key GUARDED_BY(word){0};
   std::atomic<Value> value GUARDED_BY(word){0};
 
-  /// Optimistic (seqlock) read of `key`: only valid if a bracketing
-  /// word.Read()/word.Validate() pair succeeds.
-  Key OptimisticKey() const ALT_OPTIMISTIC_PATH {
+  /// Optimistic (seqlock) read of `key`, validated by caller: only valid if
+  /// the caller's bracketing word.Read()/word.Validate() pair succeeds.
+  Key OptimisticKey() const ALT_OPTIMISTIC_PATH ALT_REQUIRES_EPOCH {
     return key.load(std::memory_order_relaxed);
   }
 
-  /// Optimistic (seqlock) read of `value`: same validation contract.
-  Value OptimisticValue() const ALT_OPTIMISTIC_PATH {
+  /// Optimistic (seqlock) read of `value`, validated by caller: same
+  /// bracketing word.Read()/word.Validate() contract.
+  Value OptimisticValue() const ALT_OPTIMISTIC_PATH ALT_REQUIRES_EPOCH {
     return value.load(std::memory_order_relaxed);
   }
 };
@@ -234,18 +235,18 @@ class alignas(64) GplModel {
   }
 
   /// Count slots currently kOccupied (O(num_slots); stats & finish threshold).
-  uint32_t CountOccupied() const;
+  uint32_t CountOccupied() const ALT_REQUIRES_EPOCH;
 
   /// Count slots by state: counts[i] += slots in SlotState i (kEmpty /
   /// kOccupied / kTombstone / kMigrated). O(num_slots); structural stats.
-  void CountSlotStates(size_t counts[4]) const;
+  void CountSlotStates(size_t counts[4]) const ALT_REQUIRES_EPOCH;
 
   /// Collect occupied (key, value) pairs with key in [lo, hi], ascending,
   /// stopping after `limit` appended pairs. Starts at Predict(lo) — valid
   /// because placement is monotone — and stops at the first key beyond `hi`.
   /// Slots are read under their version words; the result is per-slot atomic.
   void CollectRange(Key lo, Key hi, std::vector<std::pair<Key, Value>>* out,
-                    size_t limit = ~size_t{0}) const;
+                    size_t limit = ~size_t{0}) const ALT_REQUIRES_EPOCH;
 
   /// Approximate heap footprint of this model (slots + header).
   size_t MemoryBytes() const { return sizeof(GplModel) + sizeof(GplSlot) * num_slots_; }

@@ -99,7 +99,7 @@ struct AltIndex::BatchStatsDelta {
 };
 
 bool AltIndex::BatchStep(BatchCursor& c, Value* out, bool* found,
-                         BatchStatsDelta* st) const {
+                         BatchStatsDelta* st) const ALT_REQUIRES_EPOCH {
   using Stage = BatchCursor::Stage;
 
   // Terminal helpers; each writes the caller-visible result and retires the

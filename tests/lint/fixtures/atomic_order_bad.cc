@@ -1,0 +1,24 @@
+// alt-atomic-order failing fixture: implicit-seq_cst accesses in every form
+// the check covers — member calls without a memory_order argument and
+// operator-form accesses on declared std::atomic variables.
+#include <atomic>
+
+struct Counter {
+  std::atomic<int> hits{0};
+  std::atomic<bool> ready{false};
+
+  void Bump() {
+    hits.fetch_add(1);
+    ready.store(true);
+  }
+
+  int Read() const { return hits.load(); }
+};
+
+std::atomic<int> g_total{0};
+
+void Tick() {
+  g_total++;
+  g_total += 2;
+  g_total = 7;
+}

@@ -1,0 +1,31 @@
+// alt-atomic-order clean fixture: every atomic access spells its order, and
+// a non-atomic member sharing its name with an atomic (`total`) must not be
+// mistaken for an operator-form access.
+#include <atomic>
+
+struct Counter {
+  std::atomic<int> hits{0};
+  std::atomic<bool> ready{false};
+
+  void Bump() {
+    hits.fetch_add(1, std::memory_order_relaxed);
+    ready.store(true, std::memory_order_release);
+  }
+
+  int Read() const { return hits.load(std::memory_order_acquire); }
+};
+
+std::atomic<int> total{0};
+
+struct Snapshot {
+  int total = 0;
+};
+
+Snapshot Capture() {
+  Snapshot s;
+  const int current = total.load(std::memory_order_relaxed);
+  s.total = current;
+  return s;
+}
+
+void Tick() { total.fetch_add(1, std::memory_order_relaxed); }

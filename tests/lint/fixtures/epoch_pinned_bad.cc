@@ -1,0 +1,22 @@
+// alt-epoch-pinned failing fixture: calls to ALT_REQUIRES_EPOCH functions
+// from scopes with no pin evidence. The macro and guard are stand-ins; the
+// check keys off the tokens, not the real headers.
+#define ALT_REQUIRES_EPOCH
+struct EpochGuard {};
+
+struct Node {
+  int value;
+};
+
+int ReadNode(const Node* n) ALT_REQUIRES_EPOCH;
+
+int Unpinned(const Node* n) {
+  return ReadNode(n);
+}
+
+int GuardInInnerScopeOnly(const Node* n) {
+  {
+    EpochGuard g;
+  }
+  return ReadNode(n);
+}

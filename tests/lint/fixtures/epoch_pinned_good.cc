@@ -1,0 +1,26 @@
+// alt-epoch-pinned clean fixture: all three forms of pin evidence — a live
+// EpochGuard, a runtime assertion, and interprocedural propagation via
+// ALT_REQUIRES_EPOCH on the caller itself.
+#define ALT_REQUIRES_EPOCH
+#define ALT_ASSERT_EPOCH_PINNED(where)
+struct EpochGuard {};
+
+struct Node {
+  int value;
+};
+
+int ReadNode(const Node* n) ALT_REQUIRES_EPOCH;
+
+int PinnedByGuard(const Node* n) {
+  EpochGuard g;
+  return ReadNode(n);
+}
+
+int PinnedByAssertion(const Node* n) {
+  ALT_ASSERT_EPOCH_PINNED("PinnedByAssertion");
+  return ReadNode(n);
+}
+
+int ObligationPushedToCaller(const Node* n) ALT_REQUIRES_EPOCH {
+  return ReadNode(n);
+}

@@ -1,0 +1,15 @@
+// alt-optimistic-escape failing fixture: an ALT_OPTIMISTIC_PATH function
+// with no adjacent justification comment whose optimistically read value
+// escapes through a return with no version re-validation anywhere.
+#define ALT_OPTIMISTIC_PATH
+
+struct Slot {
+  unsigned Read() const;
+  bool Validate(unsigned w) const;
+  int value;
+};
+
+int LeakUnvalidatedRead(const Slot& s) ALT_OPTIMISTIC_PATH {
+  const int v = s.value;
+  return v;
+}

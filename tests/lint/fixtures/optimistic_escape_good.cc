@@ -1,0 +1,26 @@
+// alt-optimistic-escape clean fixture: both sanctioned shapes — a seqlock
+// retry loop that re-validates before the value escapes, and a leaf accessor
+// whose justification defers the validation to its caller.
+#define ALT_OPTIMISTIC_PATH
+
+struct Slot {
+  unsigned Read() const;
+  bool Validate(unsigned w) const;
+  int value;
+};
+
+// Seqlock read: the slot version is re-validated (Validate) before the read
+// value escapes; a mismatch restarts the loop.
+int ReadValidated(const Slot& s) ALT_OPTIMISTIC_PATH {
+  for (;;) {
+    const unsigned w = s.Read();
+    const int v = s.value;
+    if (s.Validate(w)) return v;
+  }
+}
+
+// Optimistic leaf read, validated by caller: the bracketing Read()/Validate()
+// pair around this accessor decides whether the value is kept.
+int RawValue(const Slot& s) ALT_OPTIMISTIC_PATH {
+  return s.value;
+}

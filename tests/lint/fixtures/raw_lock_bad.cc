@@ -1,0 +1,19 @@
+// alt-raw-lock failing fixture: raw std:: lock types and naked .lock() /
+// .unlock() calls, all of which must go through the annotated wrappers.
+#include <mutex>
+
+struct State {
+  std::mutex mu;
+  int x = 0;
+
+  void Bump() {
+    mu.lock();
+    ++x;
+    mu.unlock();
+  }
+
+  void Guarded() {
+    std::lock_guard<std::mutex> g(mu);
+    ++x;
+  }
+};

@@ -1,0 +1,21 @@
+// alt-raw-lock clean fixture: locking through capability wrappers and RAII
+// guards only (stand-ins for alt::SpinLock / alt::SpinLockGuard).
+struct SpinLock {
+  void Acquire();
+  void Release();
+};
+
+struct SpinLockGuard {
+  explicit SpinLockGuard(SpinLock& l);
+  ~SpinLockGuard();
+};
+
+struct State {
+  SpinLock mu;
+  int x = 0;
+
+  void Bump() {
+    SpinLockGuard g(mu);
+    ++x;
+  }
+};

@@ -1,0 +1,20 @@
+// Suppression fixture (failing): the alt-lint-allow meta-check rejects
+// suppressions naming unknown checks, suppressions with no reason, and
+// suppressions that match nothing.
+#include <atomic>
+
+struct Peeker {
+  std::atomic<int> n{0};
+
+  // ALT_LINT_ALLOW(alt-bogus-check): no such check exists
+  int A() const { return n.load(std::memory_order_relaxed); }
+
+  // ALT_LINT_ALLOW(alt-atomic-order):
+  int B() const { return n.load(std::memory_order_relaxed); }
+
+  // ALT_LINT_ALLOW(alt-atomic-order): nothing on the next line needs this
+  int C() const { return n.load(std::memory_order_relaxed); }
+
+  // ALT_LINT_ALLOW(never-closed so the grammar cannot parse a check name
+  int D() const { return n.load(std::memory_order_relaxed); }
+};

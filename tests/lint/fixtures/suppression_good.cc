@@ -1,0 +1,16 @@
+// Suppression fixture (clean): a well-formed ALT_LINT_ALLOW silences the
+// finding on the adjacent line and is counted in the summary, and a
+// multi-line suppression comment covers the line following the block.
+#include <atomic>
+
+struct Peeker {
+  std::atomic<int> n{0};
+
+  int Peek() const {
+    return n.load();  // ALT_LINT_ALLOW(alt-atomic-order): deliberate seq_cst default, used by the ordering stress test
+  }
+
+  // ALT_LINT_ALLOW(alt-atomic-order): deliberate seq_cst default; this
+  // comment spans two lines and still covers the access below.
+  int PeekAgain() const { return n.load(); }
+};

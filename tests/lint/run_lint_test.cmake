@@ -1,0 +1,29 @@
+# Golden-file driver for one alt-lint fixture (cmake -P).
+#
+# Inputs:
+#   TOOL        path to the alt-lint binary
+#   FIXTURE     fixture file name (relative to WORKDIR, so diagnostics carry
+#               stable relative paths the goldens can pin)
+#   EXPECTED    path to the golden stdout file
+#   EXPECT_EXIT required exit code (1 for failing fixtures, 0 for clean ones)
+#   WORKDIR     the fixtures directory
+
+execute_process(
+  COMMAND ${TOOL} ${FIXTURE}
+  WORKING_DIRECTORY ${WORKDIR}
+  OUTPUT_VARIABLE actual
+  ERROR_VARIABLE errout
+  RESULT_VARIABLE code)
+
+file(READ ${EXPECTED} want)
+
+if(NOT actual STREQUAL want)
+  message(FATAL_ERROR "alt-lint output for ${FIXTURE} diverged from golden "
+                      "${EXPECTED}.\n--- expected ---\n${want}\n--- actual ---\n"
+                      "${actual}\n--- stderr ---\n${errout}")
+endif()
+
+if(NOT code EQUAL EXPECT_EXIT)
+  message(FATAL_ERROR "alt-lint exit code for ${FIXTURE} was ${code}, "
+                      "expected ${EXPECT_EXIT}.\n--- stderr ---\n${errout}")
+endif()

@@ -1,0 +1,190 @@
+// alt-lint: enforce the ALT-Index concurrency protocols over src/.
+//
+// Usage:
+//   alt-lint [--compdb compile_commands.json] [--verify-compdb]
+//            [--src-root DIR] [file.cc ...]
+//
+// With --src-root, every *.h / *.cc under the directory is checked (two-pass:
+// ALT_REQUIRES_EPOCH names are collected across ALL inputs first, so the
+// epoch obligation propagates across translation units, not just within one).
+// With --compdb + --verify-compdb, exit non-zero if any src-root *.cc lacks a
+// compile_commands.json entry — the CI gate that keeps the lint surface and
+// the build surface identical.
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyzer.h"
+#include "lexer.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+// Extract every "file" value from compile_commands.json. A full JSON parser
+// is overkill for the fixed shape CMake emits; scan for the key instead.
+std::set<std::string> CompdbFiles(const std::string& json) {
+  std::set<std::string> files;
+  const std::string key = "\"file\"";
+  size_t pos = 0;
+  while ((pos = json.find(key, pos)) != std::string::npos) {
+    pos += key.size();
+    while (pos < json.size() && (json[pos] == ' ' || json[pos] == ':')) ++pos;
+    if (pos >= json.size() || json[pos] != '"') continue;
+    ++pos;
+    std::string value;
+    while (pos < json.size() && json[pos] != '"') {
+      if (json[pos] == '\\' && pos + 1 < json.size()) ++pos;
+      value += json[pos++];
+    }
+    files.insert(value);
+  }
+  return files;
+}
+
+std::string Canon(const std::string& path) {
+  std::error_code ec;
+  fs::path c = fs::weakly_canonical(fs::path(path), ec);
+  return ec ? path : c.string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string compdb_path;
+  std::string src_root;
+  bool verify_compdb = false;
+  std::vector<std::string> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "alt-lint: " << flag << " requires a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--compdb") {
+      compdb_path = need_value("--compdb");
+    } else if (arg == "--src-root") {
+      src_root = need_value("--src-root");
+    } else if (arg == "--verify-compdb") {
+      verify_compdb = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: alt-lint [--compdb FILE] [--verify-compdb] "
+                   "[--src-root DIR] [file ...]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "alt-lint: unknown flag '" << arg << "'\n";
+      return 2;
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+
+  if (!src_root.empty()) {
+    std::error_code ec;
+    if (!fs::is_directory(src_root, ec)) {
+      std::cerr << "alt-lint: --src-root '" << src_root
+                << "' is not a directory\n";
+      return 2;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(src_root)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".h" || ext == ".cc") inputs.push_back(entry.path().string());
+    }
+  }
+  if (inputs.empty()) {
+    std::cerr << "alt-lint: no input files (pass --src-root or file args)\n";
+    return 2;
+  }
+  std::sort(inputs.begin(), inputs.end());
+  inputs.erase(std::unique(inputs.begin(), inputs.end()), inputs.end());
+
+  int exit_code = 0;
+
+  if (verify_compdb) {
+    if (compdb_path.empty()) {
+      std::cerr << "alt-lint: --verify-compdb requires --compdb\n";
+      return 2;
+    }
+    std::string json;
+    if (!ReadFile(compdb_path, &json)) {
+      std::cerr << "alt-lint: cannot read compdb '" << compdb_path << "'\n";
+      return 2;
+    }
+    std::set<std::string> canon_db;
+    for (const std::string& f : CompdbFiles(json)) canon_db.insert(Canon(f));
+    for (const std::string& in : inputs) {
+      if (in.size() < 3 || in.compare(in.size() - 3, 3, ".cc") != 0) continue;
+      if (!canon_db.count(Canon(in))) {
+        std::cerr << "alt-lint: " << in
+                  << " missing from compile_commands.json — the lint/build "
+                     "surfaces have diverged (is the file in a CMake target?)"
+                  << "\n";
+        exit_code = 1;
+      }
+    }
+  }
+
+  // Pass 1: ALT_REQUIRES_EPOCH names across every input.
+  std::vector<altlint::LexedFile> lexed;
+  lexed.reserve(inputs.size());
+  std::set<std::string> epoch_fns;
+  for (const std::string& path : inputs) {
+    std::string source;
+    if (!ReadFile(path, &source)) {
+      std::cerr << "alt-lint: cannot read '" << path << "'\n";
+      return 2;
+    }
+    lexed.push_back(altlint::Lex(path, source));
+    altlint::CollectEpochFunctions(lexed.back(), &epoch_fns);
+  }
+
+  // Pass 2: checks + suppression accounting.
+  int total_findings = 0;
+  std::map<std::string, int> suppressed;
+  for (const altlint::LexedFile& file : lexed) {
+    altlint::CheckResult result = altlint::Check(file, epoch_fns);
+    for (const altlint::Finding& f : result.findings) {
+      std::cout << f.path << ":" << f.line << ":" << f.col << ": error: ["
+                << f.check << "] " << f.message << "\n";
+      ++total_findings;
+    }
+    for (const auto& [check, n] : result.suppressed) suppressed[check] += n;
+  }
+
+  int total_suppressed = 0;
+  std::string breakdown;
+  for (const auto& [check, n] : suppressed) {
+    total_suppressed += n;
+    breakdown += (breakdown.empty() ? "" : ", ") + check + ": " + std::to_string(n);
+  }
+  std::cout << "alt-lint: " << total_findings << " finding(s), "
+            << total_suppressed << " suppression(s)"
+            << (breakdown.empty() ? "" : " [" + breakdown + "]") << " in "
+            << lexed.size() << " file(s)\n";
+
+  if (total_findings > 0) exit_code = 1;
+  return exit_code;
+}

@@ -1,0 +1,713 @@
+#include "analyzer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <functional>
+
+namespace altlint {
+namespace {
+
+const std::set<std::string> kAtomicMethods = {
+    "load", "store", "exchange", "fetch_add", "fetch_sub", "fetch_and",
+    "fetch_or", "fetch_xor", "compare_exchange_weak", "compare_exchange_strong",
+    "test_and_set",
+};
+
+const std::set<std::string> kRawLockTypes = {
+    "lock_guard", "unique_lock", "shared_lock", "scoped_lock",
+    "mutex", "shared_mutex", "recursive_mutex", "timed_mutex",
+};
+
+const std::set<std::string> kRawLockCalls = {
+    "lock", "unlock", "lock_shared", "unlock_shared", "try_lock",
+};
+
+// A call to any of these counts as version re-validation for
+// alt-optimistic-escape (the project's seqlock / optimistic-lock vocabulary).
+const std::set<std::string> kRevalidators = {
+    "CheckOrRestart", "ReadValidate", "Validate", "ReadLockOrRestart",
+    "UpgradeToWriteLockOrRestart", "TryWriteLock", "WriteLockOrFail",
+    "compare_exchange_weak", "compare_exchange_strong",
+};
+
+const std::set<std::string> kKeywordsNoCall = {
+    "if", "for", "while", "switch", "return", "sizeof", "alignas", "alignof",
+    "decltype", "static_assert", "catch", "new", "delete", "throw", "case",
+    "co_await", "co_return", "co_yield", "requires", "noexcept", "assert",
+};
+
+bool IsAllCapsMacro(const std::string& s) {
+  if (s.size() < 2) return false;
+  bool has_alpha = false;
+  for (char c : s) {
+    if (std::islower(static_cast<unsigned char>(c))) return false;
+    if (std::isupper(static_cast<unsigned char>(c))) has_alpha = true;
+  }
+  return has_alpha;
+}
+
+// Lowercase and collapse every non-alphanumeric run to a single space.
+std::string NormalizeComment(const std::string& s) {
+  std::string out;
+  bool last_space = true;
+  for (char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      last_space = false;
+    } else if (!last_space) {
+      out += ' ';
+      last_space = true;
+    }
+  }
+  return out;
+}
+
+bool ContainsWord(const std::string& normalized, const std::string& word) {
+  size_t pos = 0;
+  while ((pos = normalized.find(word, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || normalized[pos - 1] == ' ';
+    const size_t end = pos + word.size();
+    const bool right_ok = end == normalized.size() || normalized[end] == ' ';
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+struct Justification {
+  bool present = false;
+  bool caller_validated = false;
+};
+
+struct FnMarkers {
+  bool requires_epoch = false;
+  bool optimistic = false;
+  int optimistic_line = 0;
+};
+
+// One ALT_LINT_ALLOW(check): reason occurrence.
+struct Allow {
+  std::string check;
+  bool has_reason = false;
+  bool known = false;
+  int line = 0;       // anchor: last line of the carrying comment
+  bool used = false;
+};
+
+class Walker {
+ public:
+  Walker(const LexedFile& f, const std::set<std::string>& epoch_fns,
+         std::set<std::string>* collect, std::vector<Finding>* findings)
+      : f_(f), epoch_fns_(epoch_fns), collect_(collect), findings_(findings) {
+    BuildBracketMatch();
+    CollectAtomicVars();
+  }
+
+  void Run() {
+    if (findings_) {
+      ScanRawLockTypes();
+    }
+    WalkDecls(0, f_.tokens.size());
+  }
+
+ private:
+  const Token& Tok(size_t i) const { return f_.tokens[i]; }
+  size_t N() const { return f_.tokens.size(); }
+
+  bool Is(size_t i, const char* text) const {
+    return i < N() && Tok(i).text == text;
+  }
+
+  void Report(size_t i, const std::string& check, const std::string& message) {
+    if (!findings_) return;
+    findings_->push_back({f_.path, Tok(i).line, Tok(i).col, check, message});
+  }
+
+  // ---- setup ------------------------------------------------------------
+
+  void BuildBracketMatch() {
+    match_.assign(N(), SIZE_MAX);
+    std::vector<size_t> stack;
+    for (size_t i = 0; i < N(); ++i) {
+      const std::string& t = Tok(i).text;
+      if (t == "(" || t == "{" || t == "[") {
+        stack.push_back(i);
+      } else if (t == ")" || t == "}" || t == "]") {
+        // Tolerant matching: pop the nearest opener of the same family if
+        // possible, else the nearest opener (imbalance from macro tricks).
+        const char want = t == ")" ? '(' : t == "}" ? '{' : '[';
+        for (size_t k = stack.size(); k > 0; --k) {
+          if (f_.tokens[stack[k - 1]].text[0] == want) {
+            match_[stack[k - 1]] = i;
+            match_[i] = stack[k - 1];
+            stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                        stack.end());
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // Close of the bracket opened at i, or `fallback` when unmatched.
+  size_t MatchOr(size_t i, size_t fallback) const {
+    return match_[i] == SIZE_MAX ? fallback : match_[i];
+  }
+
+  // Record every `std::atomic<...> name` (member, global, or local) so the
+  // operator-form part of alt-atomic-order can key off the variable names.
+  void CollectAtomicVars() {
+    for (size_t i = 0; i + 1 < N(); ++i) {
+      if (Tok(i).kind != TokKind::kIdent || Tok(i).text != "atomic") continue;
+      if (!Is(i + 1, "<")) continue;
+      // Find the matching '>' tracking depth; '>>' closes two.
+      size_t j = i + 1;
+      int depth = 0;
+      while (j < N()) {
+        const std::string& t = Tok(j).text;
+        if (t == "<") {
+          ++depth;
+        } else if (t == ">") {
+          if (--depth == 0) break;
+        } else if (t == ">>") {
+          depth -= 2;
+          if (depth <= 0) break;
+        } else if (t == ";" || t == "{") {
+          depth = -1;  // not a template argument list after all
+          break;
+        }
+        ++j;
+      }
+      if (depth != 0 || j + 1 >= N()) continue;
+      size_t k = j + 1;
+      while (Is(k, "&") || Is(k, "*")) ++k;  // references/pointers: skip
+      if (k < N() && Tok(k).kind == TokKind::kIdent) {
+        atomic_vars_.insert(Tok(k).text);
+        atomic_decl_idx_.insert(k);
+      }
+    }
+  }
+
+  // ---- flat scans (context-free) ----------------------------------------
+
+  void ScanRawLockTypes() {
+    for (size_t i = 2; i < N(); ++i) {
+      if (Tok(i).kind != TokKind::kIdent) continue;
+      if (!kRawLockTypes.count(Tok(i).text)) continue;
+      if (Is(i - 1, "::") && Is(i - 2, "std")) {
+        Report(i - 2, "alt-raw-lock",
+               "raw 'std::" + Tok(i).text +
+                   "' bypasses the annotated capability layer; use "
+                   "alt::SpinLock / alt::SharedMutex and their RAII guards "
+                   "(src/common/{spinlock,shared_mutex}.h)");
+      }
+    }
+  }
+
+  // ---- declaration-level walk -------------------------------------------
+
+  // Walk [i, end) at namespace/class scope, detecting function definitions.
+  void WalkDecls(size_t i, size_t end) {
+    while (i < end) {
+      const Token& t = Tok(i);
+      const std::string& x = t.text;
+      if (x == "{") {  // stray brace (initializer, etc.)
+        i = MatchOr(i, end) + 1;
+        continue;
+      }
+      if (x == "}") {
+        ++i;
+        continue;
+      }
+      if (t.kind == TokKind::kIdent && x == "namespace") {
+        size_t j = i + 1;
+        while (j < end && !Is(j, "{") && !Is(j, ";")) ++j;
+        if (j < end && Is(j, "{")) {
+          const size_t close = MatchOr(j, end);
+          WalkDecls(j + 1, close);
+          i = close + 1;
+        } else {
+          i = j + 1;
+        }
+        continue;
+      }
+      if (t.kind == TokKind::kIdent &&
+          (x == "class" || x == "struct" || x == "union" || x == "enum")) {
+        const bool recurse = x != "enum";
+        size_t j = i + 1;
+        while (j < end && !Is(j, "{") && !Is(j, ";")) {
+          if (Is(j, "(")) {
+            j = MatchOr(j, end);
+          }
+          ++j;
+        }
+        if (j < end && Is(j, "{")) {
+          const size_t close = MatchOr(j, end);
+          if (recurse) WalkDecls(j + 1, close);
+          i = close + 1;
+        } else {
+          i = j + 1;
+        }
+        continue;
+      }
+      if (t.kind == TokKind::kIdent && x == "template") {
+        if (Is(i + 1, "<")) {
+          size_t j = i + 1;
+          int depth = 0;
+          while (j < end) {
+            if (Is(j, "<")) ++depth;
+            else if (Is(j, ">") && --depth == 0) break;
+            else if (Is(j, ">>") && (depth -= 2) <= 0) break;
+            ++j;
+          }
+          i = j + 1;
+        } else {
+          ++i;
+        }
+        continue;
+      }
+      if (t.kind == TokKind::kIdent &&
+          (x == "using" || x == "typedef" || x == "friend" ||
+           x == "static_assert")) {
+        while (i < end && !Is(i, ";")) {
+          if (Is(i, "(") || Is(i, "{")) i = MatchOr(i, end);
+          ++i;
+        }
+        ++i;
+        continue;
+      }
+      if (t.kind == TokKind::kIdent && !kKeywordsNoCall.count(x) &&
+          Is(i + 1, "(")) {
+        i = HandleCandidate(i, end);
+        continue;
+      }
+      if (x == "(") {
+        i = MatchOr(i, end) + 1;
+        continue;
+      }
+      ++i;
+    }
+  }
+
+  // tokens[i] is an identifier followed by '(' at declaration scope: decide
+  // whether it heads a function declaration or definition, harvest trailing
+  // markers, and walk the body if present. Returns the resume index.
+  size_t HandleCandidate(size_t name_idx, size_t end) {
+    const std::string name = Tok(name_idx).text;
+    const int name_line = Tok(name_idx).line;
+    const size_t rp = MatchOr(name_idx + 1, end);
+    if (rp == end) return name_idx + 1;
+
+    FnMarkers m;
+    size_t j = rp + 1;
+    while (j < end) {
+      const Token& t = Tok(j);
+      const std::string& x = t.text;
+      if (x == "const" || x == "noexcept" || x == "override" || x == "final" ||
+          x == "mutable" || x == "volatile" || x == "&" || x == "&&") {
+        ++j;
+        continue;
+      }
+      if (x == "ALT_REQUIRES_EPOCH") {
+        m.requires_epoch = true;
+        ++j;
+        continue;
+      }
+      if (x == "ALT_OPTIMISTIC_PATH") {
+        m.optimistic = true;
+        m.optimistic_line = t.line;
+        ++j;
+        continue;
+      }
+      if (t.kind == TokKind::kIdent &&
+          (IsAllCapsMacro(x) || x == "__attribute__")) {
+        ++j;
+        if (j < end && Is(j, "(")) j = MatchOr(j, end) + 1;
+        continue;
+      }
+      if (x == "->") {  // trailing return type: scan to body or ';'
+        ++j;
+        while (j < end && !Is(j, "{") && !Is(j, ";")) {
+          if (Is(j, "(")) j = MatchOr(j, end);
+          ++j;
+        }
+        continue;
+      }
+      if (x == ":") {  // constructor initializer list
+        ++j;
+        while (j < end && !Is(j, ";")) {
+          if (Is(j, "(")) {
+            j = MatchOr(j, end) + 1;
+            continue;
+          }
+          if (Is(j, "{")) {
+            // Brace-init of a member (`a_{1}`) follows an identifier or a
+            // template closer; anything else opens the constructor body.
+            const std::string& prev = Tok(j - 1).text;
+            const bool brace_init =
+                Tok(j - 1).kind == TokKind::kIdent || prev == ">" || prev == ">>";
+            if (!brace_init) break;
+            j = MatchOr(j, end) + 1;
+            continue;
+          }
+          ++j;
+        }
+        continue;
+      }
+      if (x == "=") {  // = default / = delete / = 0
+        while (j < end && !Is(j, ";")) ++j;
+        continue;
+      }
+      if (x == "{") {
+        OnFunction(name, name_idx, name_line, m, /*has_body=*/true);
+        const size_t close = MatchOr(j, end);
+        WalkBody(j, close, m);
+        return close + 1;
+      }
+      if (x == ";") {
+        OnFunction(name, name_idx, name_line, m, /*has_body=*/false);
+        return j + 1;
+      }
+      // Not a function after all (macro invocation, variable, ...).
+      return rp + 1;
+    }
+    return end;
+  }
+
+  void OnFunction(const std::string& name, size_t name_idx, int name_line,
+                  const FnMarkers& m, bool has_body) {
+    (void)name_idx;
+    if (collect_ && m.requires_epoch) collect_->insert(name);
+    if (!findings_) return;
+    if (m.optimistic) {
+      const Justification just = FindJustification(name_line, m.optimistic_line);
+      if (!just.present) {
+        findings_->push_back(
+            {f_.path, m.optimistic_line, 1, "alt-optimistic-escape",
+             "ALT_OPTIMISTIC_PATH on '" + name +
+                 "' lacks an adjacent justification comment naming its "
+                 "validation (seqlock / version re-validation / restart / CAS "
+                 "/ validated-by-caller)"});
+      }
+      if (has_body) {
+        pending_opt_name_ = name;
+        pending_opt_line_ = m.optimistic_line;
+        pending_opt_caller_validated_ = just.caller_validated;
+      }
+    } else {
+      pending_opt_name_.clear();
+    }
+  }
+
+  Justification FindJustification(int decl_line, int marker_line) const {
+    Justification out;
+    const int lo = decl_line - 4;
+    for (const Comment& c : f_.comments) {
+      if (c.end_line < lo || c.line > marker_line) continue;
+      const std::string n = NormalizeComment(c.text);
+      const bool caller = n.find("validated by caller") != std::string::npos ||
+                          n.find("caller validat") != std::string::npos;
+      const bool named = caller || n.find("seqlock") != std::string::npos ||
+                         n.find("version") != std::string::npos ||
+                         n.find("restart") != std::string::npos ||
+                         n.find("revalidat") != std::string::npos ||
+                         n.find("re validat") != std::string::npos ||
+                         n.find("compare exchange") != std::string::npos ||
+                         ContainsWord(n, "cas");
+      if (named) {
+        out.present = true;
+        out.caller_validated |= caller;
+      }
+    }
+    return out;
+  }
+
+  // ---- function-body walk ------------------------------------------------
+
+  void WalkBody(size_t open, size_t close, const FnMarkers& m) {
+    // Epoch-pin evidence per open scope: true once the scope (or an enclosing
+    // one) dominates the remaining statements with an EpochGuard or a runtime
+    // pin assertion.
+    std::vector<bool> evidence;
+    evidence.push_back(m.requires_epoch);
+
+    const bool opt = m.optimistic && !pending_opt_name_.empty();
+    const std::string opt_name = pending_opt_name_;
+    const int opt_line = pending_opt_line_;
+    const bool caller_validated = pending_opt_caller_validated_;
+    pending_opt_name_.clear();
+    bool seen_reval = false;
+    bool escape_reported = false;
+
+    for (size_t i = open + 1; i < close && i < N(); ++i) {
+      const Token& t = Tok(i);
+      const std::string& x = t.text;
+      if (x == "{") {
+        evidence.push_back(false);
+        continue;
+      }
+      if (x == "}") {
+        if (evidence.size() > 1) evidence.pop_back();
+        continue;
+      }
+      if (t.kind != TokKind::kIdent) continue;
+
+      if (x == "EpochGuard" || x == "ALT_ASSERT_EPOCH_PINNED") {
+        evidence.back() = true;
+        continue;
+      }
+      if (kRevalidators.count(x) && Is(i + 1, "(")) seen_reval = true;
+
+      if (opt && x == "return" && !seen_reval && !caller_validated &&
+          !escape_reported && ReturnEscapes(i, close)) {
+        Report(i, "alt-optimistic-escape",
+               "optimistic read escapes from '" + opt_name +
+                   "': value-bearing return before the first version "
+                   "re-validation (CheckOrRestart / ReadValidate / Validate / "
+                   "CAS)");
+        escape_reported = true;
+        continue;
+      }
+
+      const bool member_call = i > 0 && (Is(i - 1, ".") || Is(i - 1, "->"));
+      if (member_call && Is(i + 1, "(")) {
+        if (kAtomicMethods.count(x)) CheckAtomicCall(i);
+        if (kRawLockCalls.count(x)) {
+          Report(i, "alt-raw-lock",
+                 "naked '." + x +
+                     "()' bypasses the annotated RAII guards; use "
+                     "SpinLockGuard / WriteLockGuard / ReadLockGuard (or an "
+                     "annotated TRY_ACQUIRE interface)");
+        }
+      }
+
+      if (Is(i + 1, "(") && !kKeywordsNoCall.count(x) && epoch_fns_.count(x)) {
+        const bool pinned =
+            std::any_of(evidence.begin(), evidence.end(), [](bool b) { return b; });
+        if (!pinned) {
+          Report(i, "alt-epoch-pinned",
+                 "call to epoch-protected '" + x +
+                     "' outside an epoch-pinned scope; hold an alt::EpochGuard "
+                     "(or assert with ALT_ASSERT_EPOCH_PINNED) before this "
+                     "call, or mark the enclosing function "
+                     "ALT_REQUIRES_EPOCH");
+        }
+      }
+
+      // Operator-form atomic accesses are only flagged in statement-leading
+      // position: resolving `r.name = ...` vs `c.name = ...` needs real type
+      // information, and a name collision with a non-atomic member must not
+      // produce a false finding (see tests/lint fixtures).
+      if (atomic_vars_.count(x) && !atomic_decl_idx_.count(i) &&
+          StatementLeading(i)) {
+        CheckAtomicOperator(i);
+      }
+    }
+
+    if (opt && !caller_validated && !seen_reval && findings_) {
+      findings_->push_back(
+          {f_.path, opt_line, 1, "alt-optimistic-escape",
+           "optimistic function '" + opt_name +
+               "' never re-validates: no version recheck (CheckOrRestart / "
+               "ReadValidate / Validate / CAS) in its body; re-validate before "
+               "trusting optimistic reads, or justify as validated-by-caller"});
+    }
+  }
+
+  // True when `return <expr>;` carries anything beyond literal constants and
+  // enum-style values (kFoo, Op::kFoo) — i.e. an optimistically read value.
+  bool ReturnEscapes(size_t ret_idx, size_t close) const {
+    for (size_t i = ret_idx + 1; i < close && !Is(i, ";"); ++i) {
+      const Token& t = Tok(i);
+      if (t.kind != TokKind::kIdent) continue;
+      const std::string& x = t.text;
+      if (x == "true" || x == "false" || x == "nullptr") continue;
+      if (x.size() >= 2 && x[0] == 'k' &&
+          std::isupper(static_cast<unsigned char>(x[1])) && !Is(i + 1, "(")) {
+        continue;  // enum constant
+      }
+      if (Is(i + 1, "::")) continue;  // scope qualifier (Op::kFoo, Status::...)
+      return true;
+    }
+    return false;
+  }
+
+  void CheckAtomicCall(size_t i) {
+    const size_t lp = i + 1;
+    const size_t rp = MatchOr(lp, N() - 1);
+    bool has_order = false;
+    for (size_t k = lp + 1; k < rp; ++k) {
+      if (Tok(k).kind == TokKind::kIdent &&
+          Tok(k).text.find("memory_order") != std::string::npos) {
+        has_order = true;
+        break;
+      }
+    }
+    if (!has_order) {
+      Report(i, "alt-atomic-order",
+             "atomic '" + Tok(i).text +
+                 "' call without an explicit std::memory_order argument "
+                 "(fix-it: append 'std::memory_order_seq_cst', or the "
+                 "deliberate weaker order, as the final argument)");
+    }
+  }
+
+  bool StatementLeading(size_t i) const {
+    if (i == 0) return true;
+    const std::string& p = Tok(i - 1).text;
+    return p == ";" || p == "{" || p == "}" || p == "(" || p == ")" ||
+           p == "," || p == "++" || p == "--";
+  }
+
+  void CheckAtomicOperator(size_t i) {
+    const std::string& name = Tok(i).text;
+    auto report = [&](const std::string& op, const std::string& instead) {
+      Report(i, "alt-atomic-order",
+             "operator '" + op + "' on std::atomic '" + name +
+                 "' is an implicit seq_cst access; use " + instead +
+                 " with an explicit std::memory_order");
+    };
+    if (Is(i + 1, "++") || Is(i + 1, "--")) {
+      report(Tok(i + 1).text, "fetch_add/fetch_sub");
+    } else if (i > 0 && (Is(i - 1, "++") || Is(i - 1, "--"))) {
+      report(Tok(i - 1).text, "fetch_add/fetch_sub");
+    } else if (Is(i + 1, "+=") || Is(i + 1, "-=")) {
+      report(Tok(i + 1).text, "fetch_add/fetch_sub");
+    } else if (Is(i + 1, "&=") || Is(i + 1, "|=") || Is(i + 1, "^=")) {
+      report(Tok(i + 1).text, "fetch_and/fetch_or/fetch_xor");
+    } else if (Is(i + 1, "=")) {
+      report("=", ".store()");
+    }
+  }
+
+  const LexedFile& f_;
+  const std::set<std::string>& epoch_fns_;
+  std::set<std::string>* collect_;
+  std::vector<Finding>* findings_;
+  std::vector<size_t> match_;
+  std::set<std::string> atomic_vars_;
+  std::set<size_t> atomic_decl_idx_;
+
+  std::string pending_opt_name_;
+  int pending_opt_line_ = 0;
+  bool pending_opt_caller_validated_ = false;
+};
+
+// ---- suppressions ---------------------------------------------------------
+
+std::vector<Allow> ParseAllows(const LexedFile& f) {
+  std::vector<Allow> allows;
+  for (size_t ci = 0; ci < f.comments.size(); ++ci) {
+    const Comment& c = f.comments[ci];
+    // A suppression may continue over following //-lines; the ALLOW covers
+    // findings adjacent to the END of the contiguous comment block.
+    int block_end = c.end_line;
+    for (size_t k = ci + 1;
+         k < f.comments.size() && f.comments[k].line == block_end + 1; ++k) {
+      block_end = f.comments[k].end_line;
+    }
+    size_t pos = 0;
+    while ((pos = c.text.find("ALT_LINT_ALLOW", pos)) != std::string::npos) {
+      size_t p = pos + std::string("ALT_LINT_ALLOW").size();
+      if (p >= c.text.size() || c.text[p] != '(') {
+        // A prose mention ("see ALT_LINT_ALLOW above"), not a suppression.
+        pos = p;
+        continue;
+      }
+      Allow a;
+      a.line = block_end;
+      {
+        const size_t close = c.text.find(')', p);
+        if (close != std::string::npos) {
+          a.check = c.text.substr(p + 1, close - p - 1);
+          a.known = KnownChecks().count(a.check) > 0;
+          size_t r = close + 1;
+          while (r < c.text.size() && std::isspace(static_cast<unsigned char>(c.text[r]))) ++r;
+          if (r < c.text.size() && c.text[r] == ':') {
+            ++r;
+            while (r < c.text.size() &&
+                   std::isspace(static_cast<unsigned char>(c.text[r]))) {
+              ++r;
+            }
+            a.has_reason = r < c.text.size();
+          }
+        }
+      }
+      allows.push_back(a);
+      pos += 1;
+    }
+  }
+  return allows;
+}
+
+}  // namespace
+
+const std::set<std::string>& KnownChecks() {
+  static const std::set<std::string> kChecks = {
+      "alt-atomic-order", "alt-epoch-pinned", "alt-optimistic-escape",
+      "alt-raw-lock"};
+  return kChecks;
+}
+
+void CollectEpochFunctions(const LexedFile& file, std::set<std::string>* out) {
+  static const std::set<std::string> kEmpty;
+  Walker(file, kEmpty, out, nullptr).Run();
+}
+
+CheckResult Check(const LexedFile& file, const std::set<std::string>& epoch_fns) {
+  std::vector<Finding> raw;
+  Walker(file, epoch_fns, nullptr, &raw).Run();
+
+  std::vector<Allow> allows = ParseAllows(file);
+  CheckResult result;
+  for (Finding& fd : raw) {
+    bool suppressed = false;
+    for (Allow& a : allows) {
+      if (!a.known || !a.has_reason) continue;
+      if (a.check != fd.check) continue;
+      if (a.line != fd.line && a.line != fd.line - 1) continue;
+      a.used = true;
+      suppressed = true;
+    }
+    if (suppressed) {
+      ++result.suppressed[fd.check];
+    } else {
+      result.findings.push_back(std::move(fd));
+    }
+  }
+
+  for (const Allow& a : allows) {
+    if (a.check.empty()) {
+      result.findings.push_back(
+          {file.path, a.line, 1, "alt-lint-allow",
+           "malformed ALT_LINT_ALLOW; expected 'ALT_LINT_ALLOW(check-name): "
+           "reason'"});
+    } else if (!a.known) {
+      result.findings.push_back(
+          {file.path, a.line, 1, "alt-lint-allow",
+           "ALT_LINT_ALLOW names unknown check '" + a.check +
+               "' (known: alt-atomic-order, alt-epoch-pinned, "
+               "alt-optimistic-escape, alt-raw-lock)"});
+    } else if (!a.has_reason) {
+      result.findings.push_back(
+          {file.path, a.line, 1, "alt-lint-allow",
+           "ALT_LINT_ALLOW(" + a.check +
+               ") has an empty reason; a suppression must say why the "
+               "protocol is still upheld"});
+    } else if (!a.used) {
+      result.findings.push_back(
+          {file.path, a.line, 1, "alt-lint-allow",
+           "unused ALT_LINT_ALLOW(" + a.check +
+               "): no matching finding on this or the next line; remove it"});
+    }
+  }
+
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return a.line != b.line ? a.line < b.line : a.col < b.col;
+            });
+  return result;
+}
+
+}  // namespace altlint

@@ -1,0 +1,50 @@
+#pragma once
+
+// The four ALT-Index protocol checks (see README.md and DESIGN.md §11):
+//
+//   alt-atomic-order      every std::atomic access spells its memory_order
+//   alt-epoch-pinned      epoch-protected functions called only under a pin
+//   alt-optimistic-escape ALT_OPTIMISTIC_PATH is justified and re-validates
+//   alt-raw-lock          no std:: locks / naked .lock() outside the wrappers
+//
+// Plus the meta-check `alt-lint-allow` validating suppression comments
+// (`// ALT_LINT_ALLOW(check): reason`), which are counted, never silent.
+//
+// Analysis runs in two passes: CollectEpochFunctions() gathers every function
+// name annotated ALT_REQUIRES_EPOCH across all input files (the macro is the
+// propagation vehicle: a caller that cannot pin marks itself and pushes the
+// obligation outward); Check() then walks each file's token stream with a
+// scope-tracking function walker and emits findings.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace altlint {
+
+struct Finding {
+  std::string path;
+  int line = 0;
+  int col = 0;
+  std::string check;    // e.g. "alt-atomic-order"
+  std::string message;
+};
+
+struct CheckResult {
+  std::vector<Finding> findings;                // after suppression
+  std::map<std::string, int> suppressed;        // check -> count
+};
+
+/// All check names a suppression may name.
+const std::set<std::string>& KnownChecks();
+
+/// Pass 1: names of functions declared or defined with ALT_REQUIRES_EPOCH.
+void CollectEpochFunctions(const LexedFile& file, std::set<std::string>* out);
+
+/// Pass 2: run every check over `file`.
+CheckResult Check(const LexedFile& file, const std::set<std::string>& epoch_fns);
+
+}  // namespace altlint

@@ -1,0 +1,230 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace altlint {
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentCont(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+// Multi-character punctuators, longest first so greedy matching works.
+const char* const kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "+=", "-=", "*=",
+    "/=",  "%=",  "&=",  "|=",  "^=", "==", "!=", "<=", ">=", "&&", "||",
+    "<<",  ">>",  ".*",
+};
+
+class Lexer {
+ public:
+  Lexer(const std::string& path, const std::string& src) : src_(src) { out_.path = path; }
+
+  LexedFile Run() {
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (c == '\n') {
+        Advance();
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        Advance();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        LexLineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        LexBlockComment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        SkipDirective();
+        continue;
+      }
+      at_line_start_ = false;
+      if (IsIdentStart(c)) {
+        if (c == 'R' && Peek(1) == '"') {
+          LexRawString();
+          continue;
+        }
+        LexIdent();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+        LexNumber();
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        LexQuoted(c);
+        continue;
+      }
+      LexPunct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char Peek(size_t ahead) const {
+    return i_ + ahead < src_.size() ? src_[i_ + ahead] : '\0';
+  }
+
+  void Advance() {
+    if (src_[i_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++i_;
+  }
+
+  void Emit(TokKind kind, size_t begin, int line, int col) {
+    out_.tokens.push_back({kind, src_.substr(begin, i_ - begin), line, col});
+  }
+
+  void LexIdent() {
+    const size_t begin = i_;
+    const int line = line_, col = col_;
+    while (i_ < src_.size() && IsIdentCont(src_[i_])) Advance();
+    Emit(TokKind::kIdent, begin, line, col);
+  }
+
+  void LexNumber() {
+    const size_t begin = i_;
+    const int line = line_, col = col_;
+    // pp-number: digits, idents, ', and exponent signs. Good enough here.
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (IsIdentCont(c) || c == '.' || c == '\'') {
+        Advance();
+      } else if ((c == '+' || c == '-') && i_ > begin &&
+                 (src_[i_ - 1] == 'e' || src_[i_ - 1] == 'E' ||
+                  src_[i_ - 1] == 'p' || src_[i_ - 1] == 'P')) {
+        Advance();
+      } else {
+        break;
+      }
+    }
+    Emit(TokKind::kNumber, begin, line, col);
+  }
+
+  void LexQuoted(char quote) {
+    const size_t begin = i_;
+    const int line = line_, col = col_;
+    Advance();  // opening quote
+    while (i_ < src_.size() && src_[i_] != quote && src_[i_] != '\n') {
+      if (src_[i_] == '\\' && i_ + 1 < src_.size()) Advance();
+      Advance();
+    }
+    if (i_ < src_.size() && src_[i_] == quote) Advance();
+    Emit(TokKind::kString, begin, line, col);
+  }
+
+  void LexRawString() {
+    const size_t begin = i_;
+    const int line = line_, col = col_;
+    Advance();  // R
+    Advance();  // "
+    std::string delim;
+    while (i_ < src_.size() && src_[i_] != '(') {
+      delim += src_[i_];
+      Advance();
+    }
+    const std::string close = ")" + delim + "\"";
+    while (i_ < src_.size() && src_.compare(i_, close.size(), close) != 0) Advance();
+    for (size_t k = 0; k < close.size() && i_ < src_.size(); ++k) Advance();
+    Emit(TokKind::kString, begin, line, col);
+  }
+
+  void LexLineComment() {
+    const size_t begin = i_ + 2;
+    const int line = line_;
+    while (i_ < src_.size() && src_[i_] != '\n') Advance();
+    out_.comments.push_back({src_.substr(begin, i_ - begin), line, line});
+  }
+
+  void LexBlockComment() {
+    const int line = line_;
+    Advance();  // '/'
+    Advance();  // '*'
+    const size_t begin = i_;
+    while (i_ < src_.size() && !(src_[i_] == '*' && Peek(1) == '/')) Advance();
+    const size_t end = i_;
+    const int end_line = line_;
+    if (i_ < src_.size()) {
+      Advance();  // '*'
+      Advance();  // '/'
+    }
+    out_.comments.push_back({src_.substr(begin, end - begin), line, end_line});
+  }
+
+  // Skip a preprocessor directive (with backslash continuations), but keep
+  // any comments on it — suppressions may sit next to a macro definition.
+  void SkipDirective() {
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (c == '\n') {
+        if (i_ > 0 && LastNonWsBeforeIs('\\')) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        LexLineComment();
+        break;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        LexBlockComment();
+        continue;
+      }
+      Advance();
+    }
+  }
+
+  bool LastNonWsBeforeIs(char want) const {
+    size_t k = i_;
+    while (k > 0) {
+      const char c = src_[k - 1];
+      if (c == ' ' || c == '\t' || c == '\r') {
+        --k;
+        continue;
+      }
+      return c == want;
+    }
+    return false;
+  }
+
+  void LexPunct() {
+    const size_t begin = i_;
+    const int line = line_, col = col_;
+    for (const char* p : kPuncts) {
+      const size_t n = std::char_traits<char>::length(p);
+      if (src_.compare(i_, n, p) == 0) {
+        for (size_t k = 0; k < n; ++k) Advance();
+        Emit(TokKind::kPunct, begin, line, col);
+        return;
+      }
+    }
+    Advance();
+    Emit(TokKind::kPunct, begin, line, col);
+  }
+
+  const std::string& src_;
+  LexedFile out_;
+  size_t i_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  bool at_line_start_ = true;
+};
+
+}  // namespace
+
+LexedFile Lex(const std::string& path, const std::string& source) {
+  return Lexer(path, source).Run();
+}
+
+}  // namespace altlint

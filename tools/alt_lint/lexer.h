@@ -1,0 +1,47 @@
+#pragma once
+
+// Token-level C++ front end for alt-lint (see README.md in this directory).
+//
+// This is not a general C++ parser: it produces an exact token stream with
+// source positions, a side list of comments (the checks read suppression and
+// justification text out of them), and it skips preprocessor directive lines
+// (tokens inside #define bodies must not count as protocol evidence). That is
+// all the alt-lint checks need — they key off ALT-specific macros and member
+// names, not off general C++ semantics.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace altlint {
+
+enum class TokKind {
+  kIdent,    // identifiers and keywords
+  kNumber,   // numeric literals (incl. ud-suffixes)
+  kString,   // string literals (incl. raw strings), char literals
+  kPunct,    // operators and punctuation, longest-match
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  // 1-based
+  int col = 0;   // 1-based
+};
+
+struct Comment {
+  std::string text;    // without the // or /* */ delimiters
+  int line = 0;        // first line (1-based)
+  int end_line = 0;    // last line (inclusive)
+};
+
+struct LexedFile {
+  std::string path;
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenize `source`. Never fails: unterminated constructs are closed at EOF.
+LexedFile Lex(const std::string& path, const std::string& source);
+
+}  // namespace altlint
