@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
               store.Size(), num_threads, seconds);
 
   std::atomic<bool> stop{false};
-  std::atomic<uint64_t> reads{0}, writes{0}, scans{0};
+  std::atomic<uint64_t> reads{0}, writes{0}, scans{0}, misses{0}, failures{0};
 
   std::vector<std::thread> workers;
   for (int t = 0; t < num_threads; ++t) {
@@ -44,18 +44,19 @@ int main(int argc, char** argv) {
       ScrambledZipf zipf(n, 0.99, 1000 + t);
       std::vector<std::pair<Key, Value>> window;
       uint64_t local_reads = 0, local_writes = 0, local_scans = 0;
+      uint64_t local_misses = 0, local_failures = 0;
       uint64_t next_key = 0xF000000000000000ULL + (static_cast<uint64_t>(t) << 40);
       while (!stop.load(std::memory_order_acquire)) {
         const uint64_t dice = rng.NextBounded(100);
         if (dice < 60) {  // 60% point reads, zipfian hot set
           Value v;
-          store.Lookup(keys[zipf.Next()], &v);
+          if (!store.Lookup(keys[zipf.Next()], &v)) ++local_misses;
           ++local_reads;
         } else if (dice < 90) {  // 30% writes: upsert fresh or update hot
           if (dice < 75) {
-            store.Insert(next_key++, dice);
+            if (!store.Insert(next_key++, dice)) ++local_failures;
           } else {
-            store.Update(keys[zipf.Next()], dice);
+            if (!store.Update(keys[zipf.Next()], dice)) ++local_failures;
           }
           ++local_writes;
         } else {  // 10% short scans
@@ -63,9 +64,11 @@ int main(int argc, char** argv) {
           ++local_scans;
         }
       }
-      reads.fetch_add(local_reads);
-      writes.fetch_add(local_writes);
-      scans.fetch_add(local_scans);
+      reads.fetch_add(local_reads, std::memory_order_relaxed);
+      writes.fetch_add(local_writes, std::memory_order_relaxed);
+      scans.fetch_add(local_scans, std::memory_order_relaxed);
+      misses.fetch_add(local_misses, std::memory_order_relaxed);
+      failures.fetch_add(local_failures, std::memory_order_relaxed);
     });
   }
 
@@ -73,12 +76,28 @@ int main(int argc, char** argv) {
   stop.store(true, std::memory_order_release);
   for (auto& w : workers) w.join();
 
-  const double total =
-      static_cast<double>(reads.load() + writes.load() + scans.load());
-  std::printf("reads  : %10llu\n", static_cast<unsigned long long>(reads.load()));
-  std::printf("writes : %10llu\n", static_cast<unsigned long long>(writes.load()));
-  std::printf("scans  : %10llu\n", static_cast<unsigned long long>(scans.load()));
+  // workers are joined: relaxed loads are enough for the final tallies.
+  const uint64_t r = reads.load(std::memory_order_relaxed);
+  const uint64_t w = writes.load(std::memory_order_relaxed);
+  const uint64_t s = scans.load(std::memory_order_relaxed);
+  const double total = static_cast<double>(r + w + s);
+  std::printf("reads  : %10llu\n", static_cast<unsigned long long>(r));
+  std::printf("writes : %10llu\n", static_cast<unsigned long long>(w));
+  std::printf("scans  : %10llu\n", static_cast<unsigned long long>(s));
   std::printf("total  : %.2f Mops/s\n", total / seconds / 1e6);
+  // Every read targets a seeded key and upsert keys are per-thread unique, so
+  // any miss or failed write is a correctness bug, not workload noise.
+  const uint64_t miss = misses.load(std::memory_order_relaxed);
+  const uint64_t fail = failures.load(std::memory_order_relaxed);
+  std::printf("lookup misses: %llu | failed writes: %llu\n",
+              static_cast<unsigned long long>(miss),
+              static_cast<unsigned long long>(fail));
+  if (miss != 0 || fail != 0) {
+    std::fprintf(stderr, "kv_store: FAILED (%llu misses, %llu write failures)\n",
+                 static_cast<unsigned long long>(miss),
+                 static_cast<unsigned long long>(fail));
+    return 1;
+  }
 
   const auto st = store.CollectStats();
   std::printf("final size %zu keys | %zu models | %zu in ART | %zu retrains\n",

@@ -41,23 +41,25 @@ run_tsan() {
   # Focus on the concurrency-heavy binaries; the full suite is slow under TSan.
   # tsan.supp covers only OlcBTree's by-design optimistic reads.
   local t
-  for t in art_test retraining_test concurrency_test olc_btree_test lookup_batch_test; do
+  for t in art_test retraining_test concurrency_test olc_btree_test \
+           lookup_batch_test epoch_test shard_test; do
     TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 suppressions=$PWD/tsan.supp" \
       "./build-tsan/tests/$t"
   done
 }
 
 run_lint() {
-  # Mirrors the alt-lint CI leg: the protocol checker over all of src/, driven
-  # off the exported compilation database so a .cc missing from the build is a
-  # failure, not a silent skip. The tool is dependency-free, so this is the
-  # cheapest mode here by far.
+  # Mirrors the alt-lint CI leg: the protocol checker over src/, examples/ and
+  # bench/, driven off the exported compilation database so a source file
+  # missing from the build is a failure, not a silent skip. The tool is
+  # dependency-free, so this is the cheapest mode here by far.
   cmake -B build-lint "${gen[@]}" -DALT_BUILD_LINT=ON \
     -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
-    -DALT_BUILD_TESTS=OFF -DALT_BUILD_BENCHMARKS=OFF -DALT_BUILD_EXAMPLES=OFF
+    -DALT_BUILD_TESTS=OFF -DALT_BUILD_BENCHMARKS=ON -DALT_BUILD_EXAMPLES=ON
   cmake --build build-lint -j --target alt-lint
   ./build-lint/tools/alt_lint/alt-lint \
-    --compdb build-lint/compile_commands.json --src-root src --verify-compdb
+    --compdb build-lint/compile_commands.json \
+    --src-root src --src-root examples --src-root bench --verify-compdb
 }
 
 case "$mode" in

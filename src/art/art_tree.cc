@@ -374,12 +374,12 @@ void DeleteNode(Node* n) {
   }
 }
 
-void RetireNode(Node* n) {
-  EpochManager::Global().Retire(n, [](void* p) { DeleteNode(static_cast<Node*>(p)); });
+void RetireNode(EpochManager* mgr, Node* n) {
+  mgr->Retire(n, [](void* p) { DeleteNode(static_cast<Node*>(p)); });
 }
 
-void RetireLeaf(Leaf* l) {
-  EpochManager::Global().Retire(l, [](void* p) { delete static_cast<Leaf*>(p); });
+void RetireLeaf(EpochManager* mgr, Leaf* l) {
+  mgr->Retire(l, [](void* p) { delete static_cast<Leaf*>(p); });
 }
 
 void DeleteSubtree(Node* n) {
@@ -400,7 +400,10 @@ void DeleteSubtree(Node* n) {
 // Tree
 // ---------------------------------------------------------------------------
 
-ArtTree::ArtTree() { root_ = new Node256(); }
+ArtTree::ArtTree(EpochManager* epoch)
+    : epoch_(epoch != nullptr ? epoch : &EpochManager::Global()) {
+  root_ = new Node256();
+}
 
 ArtTree::~ArtTree() {
   // Quiescent teardown: free remaining structure directly.
@@ -453,7 +456,7 @@ ArtTree::OpResult ArtTree::LookupImpl(Node* start, Key key, Value* out, int* ste
 }
 
 bool ArtTree::Lookup(Key key, Value* out, int* steps) const {
-  ALT_ASSERT_EPOCH_PINNED("ArtTree::Lookup");
+  ALT_ASSERT_EPOCH_PINNED("ArtTree::Lookup", epoch_);
   for (;;) {
     OpResult r = LookupImpl(root_, key, out, steps);
     if (r == OpResult::kDone) return true;
@@ -462,7 +465,7 @@ bool ArtTree::Lookup(Key key, Value* out, int* steps) const {
 }
 
 HintOutcome ArtTree::LookupFrom(Node* hint, Key key, Value* out, int* steps) const {
-  ALT_ASSERT_EPOCH_PINNED("ArtTree::LookupFrom");
+  ALT_ASSERT_EPOCH_PINNED("ArtTree::LookupFrom", epoch_);
   for (int attempt = 0; attempt < 64; ++attempt) {
     OpResult r = LookupImpl(hint, key, out, steps);
     switch (r) {
@@ -478,7 +481,7 @@ HintOutcome ArtTree::LookupFrom(Node* hint, Key key, Value* out, int* steps) con
 // ---- Incremental descent (batched read path) -------------------------------
 
 bool ArtTree::DescentInit(Node* start, DescentState* s) const {
-  ALT_ASSERT_EPOCH_PINNED("ArtTree::DescentInit");
+  ALT_ASSERT_EPOCH_PINNED("ArtTree::DescentInit", epoch_);
   bool restart = false;
   s->pending = nullptr;
   s->node = start;
@@ -489,7 +492,7 @@ bool ArtTree::DescentInit(Node* start, DescentState* s) const {
 }
 
 StepResult ArtTree::DescentStep(DescentState* s, Key key, Value* out, int* steps) const {
-  ALT_ASSERT_EPOCH_PINNED("ArtTree::DescentStep");
+  ALT_ASSERT_EPOCH_PINNED("ArtTree::DescentStep", epoch_);
   bool restart = false;
 
   // Enter the child selected (and prefetched) by the previous step. This is
@@ -643,7 +646,7 @@ ArtTree::OpResult ArtTree::InsertImpl(Node* start, Node* start_parent,
         }
         ReplaceChild(parent, pbyte, bigger);
         node->WriteUnlockObsolete();
-        RetireNode(node);
+        RetireNode(epoch_, node);
         bigger->WriteUnlock();
         parent->WriteUnlock();
         size_.fetch_add(1, std::memory_order_relaxed);
@@ -702,7 +705,7 @@ ArtTree::OpResult ArtTree::InsertImpl(Node* start, Node* start_parent,
 }
 
 bool ArtTree::Insert(Key key, Value value) {
-  ALT_ASSERT_EPOCH_PINNED("ArtTree::Insert");
+  ALT_ASSERT_EPOCH_PINNED("ArtTree::Insert", epoch_);
   for (;;) {
     OpResult r = InsertImpl(root_, nullptr, 0, key, value);
     if (r == OpResult::kDone) return true;
@@ -711,7 +714,7 @@ bool ArtTree::Insert(Key key, Value value) {
 }
 
 HintOutcome ArtTree::InsertFrom(Node* hint, Key key, Value value) {
-  ALT_ASSERT_EPOCH_PINNED("ArtTree::InsertFrom");
+  ALT_ASSERT_EPOCH_PINNED("ArtTree::InsertFrom", epoch_);
   for (int attempt = 0; attempt < 64; ++attempt) {
     OpResult r = InsertImpl(hint, nullptr, 0, key, value);
     switch (r) {
@@ -725,7 +728,7 @@ HintOutcome ArtTree::InsertFrom(Node* hint, Key key, Value value) {
 }
 
 bool ArtTree::Update(Key key, Value value) {
-  ALT_ASSERT_EPOCH_PINNED("ArtTree::Update");
+  ALT_ASSERT_EPOCH_PINNED("ArtTree::Update", epoch_);
   for (;;) {
     bool restart = false;
     Node* node = root_;
@@ -885,8 +888,8 @@ ArtTree::OpResult ArtTree::RemoveImpl(Key key, Value* old_value) ALT_OPTIMISTIC_
           sibling->WriteUnlock();
         }
         node->WriteUnlockObsolete();
-        RetireNode(node);
-        RetireLeaf(leaf);
+        RetireNode(epoch_, node);
+        RetireLeaf(epoch_, leaf);
         parent->WriteUnlock();
         size_.fetch_sub(1, std::memory_order_relaxed);
         return OpResult::kDone;
@@ -908,10 +911,10 @@ ArtTree::OpResult ArtTree::RemoveImpl(Key key, Value* old_value) ALT_OPTIMISTIC_
         }
         ReplaceChild(parent, pbyte, smaller);
         node->WriteUnlockObsolete();
-        RetireNode(node);
+        RetireNode(epoch_, node);
         smaller->WriteUnlock();
         parent->WriteUnlock();
-        RetireLeaf(leaf);
+        RetireLeaf(epoch_, leaf);
         size_.fetch_sub(1, std::memory_order_relaxed);
         return OpResult::kDone;
       }
@@ -921,7 +924,7 @@ ArtTree::OpResult ArtTree::RemoveImpl(Key key, Value* old_value) ALT_OPTIMISTIC_
       if (restart) return OpResult::kRestart;
       RemoveChildEntry(node, byte);
       node->WriteUnlock();
-      RetireLeaf(leaf);
+      RetireLeaf(epoch_, leaf);
       size_.fetch_sub(1, std::memory_order_relaxed);
       return OpResult::kDone;
     }
@@ -941,7 +944,7 @@ ArtTree::OpResult ArtTree::RemoveImpl(Key key, Value* old_value) ALT_OPTIMISTIC_
 }
 
 bool ArtTree::Remove(Key key, Value* old_value) {
-  ALT_ASSERT_EPOCH_PINNED("ArtTree::Remove");
+  ALT_ASSERT_EPOCH_PINNED("ArtTree::Remove", epoch_);
   for (;;) {
     OpResult r = RemoveImpl(key, old_value);
     if (r == OpResult::kDone) return true;
@@ -1018,7 +1021,7 @@ bool ArtTree::ScanCollect(const Node* node, Key acc, Key lo, Key hi, size_t max_
 
 size_t ArtTree::Scan(Key lo, size_t max_items,
                      std::vector<std::pair<Key, Value>>* out) const {
-  ALT_ASSERT_EPOCH_PINNED("ArtTree::Scan");
+  ALT_ASSERT_EPOCH_PINNED("ArtTree::Scan", epoch_);
   if (max_items == 0) return 0;
   for (;;) {
     out->clear();
@@ -1034,7 +1037,7 @@ size_t ArtTree::Scan(Key lo, size_t max_items,
 }
 
 size_t ArtTree::RangeQuery(Key lo, Key hi, std::vector<std::pair<Key, Value>>* out) const {
-  ALT_ASSERT_EPOCH_PINNED("ArtTree::RangeQuery");
+  ALT_ASSERT_EPOCH_PINNED("ArtTree::RangeQuery", epoch_);
   for (;;) {
     out->clear();
     int restarts = 0;

@@ -8,6 +8,9 @@
 #include "common/key_codec.h"
 
 namespace alt {
+
+class EpochManager;
+
 namespace art {
 
 /// \brief Callbacks fired by ArtTree during structure modifications that affect
@@ -55,11 +58,14 @@ enum class StepResult : uint8_t {
 /// needs (`match_level`, fast-pointer callbacks, hint-based entry points).
 ///
 /// Concurrency contract: every public operation may run concurrently from any
-/// number of threads. Callers MUST hold an alt::EpochGuard across each call
-/// (the tree retires replaced nodes through the global EpochManager).
+/// number of threads. Callers MUST hold an alt::EpochGuard on the tree's
+/// epoch manager across each call (the tree retires replaced nodes through
+/// the manager given at construction — the global one by default).
 class ArtTree {
  public:
-  ArtTree();
+  /// \param epoch manager replaced nodes/leaves retire through; nullptr means
+  ///        EpochManager::Global(). Must outlive the tree.
+  explicit ArtTree(EpochManager* epoch = nullptr);
   ~ArtTree();
 
   ArtTree(const ArtTree&) = delete;
@@ -197,6 +203,7 @@ class ArtTree {
                    std::vector<std::pair<Key, Value>>* out, int* restarts) const;
 
   Node* root_;  // fixed Node256, never replaced, never obsolete
+  EpochManager* epoch_;  // resolved at construction, never null
   ArtStructureListener* listener_ = nullptr;
   std::atomic<size_t> size_{0};
 };

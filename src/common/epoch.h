@@ -19,20 +19,32 @@ namespace alt {
 /// it; it is reclaimed once every thread that could have observed it has left
 /// its read-side critical section.
 ///
-/// Usage:
+/// Usage (process-wide default manager):
 ///   { EpochGuard g;            // read-side critical section
 ///     ... dereference shared nodes ... }
 ///   EpochManager::Global().Retire(old_node, [](void* p){ delete Node::From(p); });
 ///
-/// The design is the classic 3-epoch scheme: a guard pins the global epoch in a
-/// per-thread slot; retired items are stamped with the epoch at retirement and
-/// freed when the minimum pinned epoch has advanced past them.
+/// Usage (instance manager, e.g. one per shard — see src/shard/):
+///   EpochManager mgr("shard-epoch");
+///   { EpochGuard g(mgr); ... }
+///   mgr.Retire(old_node, deleter);
 ///
-/// Thread registration: each thread gets one of kMaxThreads pinned-epoch slots
-/// on first use and returns it at thread exit, so any number of threads may
-/// come and go over a process lifetime as long as no more than kMaxThreads are
-/// registered *concurrently*. Exceeding that aborts with a clear message
-/// (sharing a slot would silently break the reclamation protocol).
+/// The design is the classic 3-epoch scheme: a guard pins the manager's epoch
+/// in a per-thread slot; retired items are stamped with the epoch at retirement
+/// and freed when the minimum pinned epoch has advanced past them.
+///
+/// Thread registration: per manager, each thread gets one of kMaxThreads
+/// pinned-epoch slots on first use and returns it at thread exit, so any number
+/// of threads may come and go over a process lifetime as long as no more than
+/// kMaxThreads are registered *concurrently* with any one manager. Exceeding
+/// that aborts with a clear message (sharing a slot would silently break the
+/// reclamation protocol).
+///
+/// Lifetime contract for instance managers: destroying a manager must not race
+/// a thread currently entering/exiting it (the same quiescence the destructor
+/// of any index imposes). Threads that merely *used* the manager earlier may
+/// outlive it: per-thread records are reference-counted and reclaimed by
+/// whichever side (thread exit / manager destruction) lets go last.
 class EpochManager {
  public:
   static constexpr uint64_t kIdle = ~uint64_t{0};
@@ -40,9 +52,36 @@ class EpochManager {
 
   using Deleter = void (*)(void*);
 
+  /// \param trace_category flight-recorder category for this manager's
+  ///        epoch_drain / epoch_advance spans. Must be a string literal (or
+  ///        otherwise outlive the manager): the trace ring stores the pointer.
+  ///        Sharded indexes pass a per-shard literal so epoch spans attribute
+  ///        to the owning shard.
+  explicit EpochManager(const char* trace_category = "epoch")
+      : id_(NextId()), trace_category_(trace_category) {}
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// The process-wide default manager, used whenever no instance is supplied
+  /// (single-index setups, baselines, tests).
   static EpochManager& Global() {
     static EpochManager mgr;
     return mgr;
+  }
+
+  // Destruction drains everything still pending and releases the manager's
+  // reference on every per-thread record; records of threads that already
+  // exited are freed here, records of still-live threads are freed at their
+  // thread exit. Must not run concurrently with threads entering/exiting
+  // this manager (see the class-level lifetime contract).
+  ~EpochManager() {
+    DrainAll();
+    SpinLockGuard lg(registry_mutex_);
+    for (ThreadState* ts : registry_) {
+      if (ts->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) delete ts;
+    }
+    registry_.clear();
   }
 
   /// Enter a read-side critical section (nestable). Prefer EpochGuard.
@@ -65,13 +104,13 @@ class EpochManager {
   }
 
   /// \return true iff the calling thread is inside an Enter/Exit (EpochGuard)
-  /// read-side critical section.
+  /// read-side critical section of *this* manager.
   bool CurrentThreadPinned() { return LocalState().nesting > 0; }
 
 #if defined(ALT_DEBUG_CHECKS)
   /// Epoch-guard validator: abort unless the calling thread holds an
-  /// EpochGuard. Placed (via ALT_ASSERT_EPOCH_PINNED) at every hot-path entry
-  /// point that dereferences retire-capable shared pointers.
+  /// EpochGuard on this manager. Placed (via ALT_ASSERT_EPOCH_PINNED) at every
+  /// hot-path entry point that dereferences retire-capable shared pointers.
   void AssertPinned(const char* where) {
     if (LocalState().nesting > 0) return;
     std::fprintf(stderr,
@@ -99,9 +138,15 @@ class EpochManager {
 
   /// Free everything retired so far. Only safe when no thread is inside a
   /// read-side section (e.g. between benchmark phases, in destructors of the
-  /// last live index, or single-threaded tests).
+  /// last live index, or single-threaded tests). Under ALT_DEBUG_CHECKS a
+  /// still-pinned reader slot aborts: draining would free memory that reader
+  /// may still dereference.
   void DrainAll() {
-    trace::Span span("epoch_drain", "epoch");
+    trace::Span span("epoch_drain", trace_category_);
+    ALT_DEBUG_CHECK(MinPinnedEpoch() == kIdle, "epoch",
+                    "DrainAll while a reader is pinned: retired items may "
+                    "still be referenced by a concurrent EpochGuard holder",
+                    this);
     uint64_t freed = 0;
     global_epoch_.fetch_add(1, std::memory_order_acq_rel);
     SpinLockGuard lg(registry_mutex_);
@@ -136,6 +181,11 @@ class EpochManager {
     return static_cast<size_t>(next_slot_) - free_slots_.size();
   }
 
+  /// Process-unique, never-reused manager identity (tests/diagnostics). The
+  /// per-thread state cache keys on this rather than the address so a new
+  /// manager allocated where a destroyed one lived cannot inherit stale state.
+  uint64_t ManagerId() const { return id_; }
+
  private:
   static constexpr int kAdvanceInterval = 64;
 
@@ -153,40 +203,84 @@ class EpochManager {
     int slot = -1;
     int nesting = 0;
     uint64_t retire_count = 0;
+    /// Two owners: the registering thread and the manager's registry. Whoever
+    /// drops the count to zero frees the record, so a manager may be destroyed
+    /// before or after the threads that used it (but not concurrently with
+    /// them — see the class-level lifetime contract).
+    std::atomic<uint32_t> refs{2};
     SpinLock retired_lock;
     std::vector<Retired> retired GUARDED_BY(retired_lock);
   };
 
-  /// RAII thread registration: the constructor claims a slot, the destructor
-  /// (thread exit) returns it for reuse. The ThreadState itself stays in the
-  /// registry so still-pending retired items are drained later.
-  struct ThreadLocalHandle {
-    explicit ThreadLocalHandle(EpochManager* m)
-        : mgr(m), state(m->RegisterThread()) {}
-    ~ThreadLocalHandle() { mgr->UnregisterThread(state); }
-    ThreadLocalHandle(const ThreadLocalHandle&) = delete;
-    ThreadLocalHandle& operator=(const ThreadLocalHandle&) = delete;
+  /// Per-thread map from manager identity to this thread's ThreadState in that
+  /// manager. A plain function-local thread_local handle no longer works now
+  /// that managers are instances: one thread may interleave critical sections
+  /// on several managers (e.g. a scan merging across shards). Lookups hit a
+  /// one-entry MRU cache first; the fallback is a linear scan, cheap at
+  /// realistic manager counts (one per shard plus the global).
+  struct ThreadRegistry {
+    struct Entry {
+      uint64_t id;
+      EpochManager* mgr;
+      ThreadState* state;
+    };
 
-    EpochManager* mgr;
-    ThreadState* state;
+    uint64_t cached_id = 0;
+    ThreadState* cached_state = nullptr;
+    std::vector<Entry> entries;
+
+    ThreadState* StateFor(EpochManager* m) {
+      const uint64_t id = m->id_;
+      if (id == cached_id) return cached_state;
+      for (size_t i = 0; i < entries.size();) {
+        Entry& e = entries[i];
+        if (e.state->refs.load(std::memory_order_acquire) == 1) {
+          // Manager already destroyed: drop the thread's reference so stale
+          // entries do not accumulate across short-lived managers.
+          if (e.state->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            delete e.state;
+          }
+          e = entries.back();
+          entries.pop_back();
+          continue;
+        }
+        if (e.id == id) {
+          cached_id = id;
+          cached_state = e.state;
+          return e.state;
+        }
+        ++i;
+      }
+      ThreadState* ts = m->RegisterThread();
+      entries.push_back({id, m, ts});
+      cached_id = id;
+      cached_state = ts;
+      return ts;
+    }
+
+    // Thread exit: return the pinned-epoch slot of every still-live manager
+    // (refs == 2 proves the manager has not released its reference, hence is
+    // alive per the lifetime contract), then drop this thread's reference.
+    ~ThreadRegistry() {
+      for (Entry& e : entries) {
+        if (e.state->refs.load(std::memory_order_acquire) == 2) {
+          e.mgr->UnregisterThread(e.state);
+        }
+        if (e.state->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          delete e.state;
+        }
+      }
+    }
   };
 
-  EpochManager() = default;
-
-  // The singleton destructs at process exit, after user threads joined: free
-  // everything still pending plus the per-thread registry records.
-  ~EpochManager() {
-    DrainAll();
-    SpinLockGuard lg(registry_mutex_);
-    for (ThreadState* ts : registry_) delete ts;
-    registry_.clear();
+  static uint64_t NextId() {
+    static std::atomic<uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
   }
 
   ThreadState& LocalState() {
-    // One handle per thread; EpochManager is a process singleton, so a plain
-    // function-local thread_local suffices.
-    thread_local ThreadLocalHandle handle(this);
-    return *handle.state;
+    thread_local ThreadRegistry registry;
+    return *registry.StateFor(this);
   }
 
   ThreadState* RegisterThread() {
@@ -232,7 +326,7 @@ class EpochManager {
   }
 
   void AdvanceAndCollect(ThreadState& ts) {
-    trace::Span span("epoch_advance", "epoch");
+    trace::Span span("epoch_advance", trace_category_);
     global_epoch_.fetch_add(1, std::memory_order_acq_rel);
     uint64_t min_pinned = MinPinnedEpoch();
     std::vector<Retired> free_now;
@@ -254,6 +348,8 @@ class EpochManager {
     for (auto& r : free_now) r.del(r.p);
   }
 
+  const uint64_t id_;
+  const char* const trace_category_;
   std::atomic<uint64_t> global_epoch_{1};
   Slot slots_[kMaxThreads];
   SpinLock registry_mutex_;
@@ -262,23 +358,42 @@ class EpochManager {
   int next_slot_ GUARDED_BY(registry_mutex_) = 0;
 };
 
-/// RAII read-side critical section.
+/// RAII read-side critical section. Default-constructed guards pin the global
+/// manager; pass a manager to pin an instance (e.g. a shard's).
 class EpochGuard {
  public:
-  EpochGuard() { EpochManager::Global().Enter(); }
-  ~EpochGuard() { EpochManager::Global().Exit(); }
+  EpochGuard() : mgr_(&EpochManager::Global()) { mgr_->Enter(); }
+  explicit EpochGuard(EpochManager& mgr) : mgr_(&mgr) { mgr_->Enter(); }
+  ~EpochGuard() { mgr_->Exit(); }
   EpochGuard(const EpochGuard&) = delete;
   EpochGuard& operator=(const EpochGuard&) = delete;
+
+ private:
+  EpochManager* const mgr_;
 };
+
+#if defined(ALT_DEBUG_CHECKS)
+inline void EpochAssertPinnedImpl(const char* where) {
+  EpochManager::Global().AssertPinned(where);
+}
+inline void EpochAssertPinnedImpl(const char* where, EpochManager& mgr) {
+  mgr.AssertPinned(where);
+}
+inline void EpochAssertPinnedImpl(const char* where, EpochManager* mgr) {
+  mgr->AssertPinned(where);
+}
+#endif
 
 }  // namespace alt
 
 /// Epoch-guard validator hook for hot-path entry points (no-op unless
 /// ALT_DEBUG_CHECKS): fatal if the calling thread dereferences
-/// epoch-retire-capable shared pointers outside an EpochGuard.
+/// epoch-retire-capable shared pointers outside an EpochGuard. Takes the
+/// location string plus an optional EpochManager&/EpochManager* naming the
+/// instance that must be pinned; without one the global manager is checked.
 #if defined(ALT_DEBUG_CHECKS)
-#define ALT_ASSERT_EPOCH_PINNED(where) \
-  ::alt::EpochManager::Global().AssertPinned(where)
+#define ALT_ASSERT_EPOCH_PINNED(where, ...) \
+  ::alt::EpochAssertPinnedImpl(where __VA_OPT__(, ) __VA_ARGS__)
 #else
-#define ALT_ASSERT_EPOCH_PINNED(where) ((void)0)
+#define ALT_ASSERT_EPOCH_PINNED(where, ...) ((void)0)
 #endif

@@ -6,6 +6,7 @@
 
 #include "common/epoch.h"
 #include "common/metrics.h"
+#include "common/spinlock.h"
 #include "common/timer.h"
 #include "common/trace.h"
 #include "core/gpl.h"
@@ -64,7 +65,12 @@ inline bool FinishLearnedNegative(ServedBy* served) {
 
 }  // namespace
 
-AltIndex::AltIndex(AltOptions options) : options_(options) {
+AltIndex::AltIndex(AltOptions options)
+    : options_(options),
+      epoch_(options_.epoch_manager != nullptr ? options_.epoch_manager
+                                               : &EpochManager::Global()),
+      directory_(epoch_),
+      art_(epoch_) {
   if (options_.enable_fast_pointers) art_.SetListener(&fp_buffer_);
 }
 
@@ -91,7 +97,25 @@ Status AltIndex::BulkLoad(const Key* keys, const Value* values, size_t n) {
     return Status::InvalidArgument("BulkLoad may only run once");
   }
   if (n == 0) {
-    return Status::InvalidArgument("BulkLoad requires at least one key");
+    // Empty load: publish one tail-like model spanning the whole keyspace so
+    // every operation has a routing target from the start. Runtime inserts
+    // land at predicted slots (or ART on conflict) exactly as they would
+    // behind a §III-F tail model. Sharded deployments rely on this: a range
+    // partition may leave shards with no bulk keys.
+    epsilon_ = options_.EffectiveErrorBound(0);
+    const uint32_t slots = options_.tail_model_slots;
+    const double slope =
+        static_cast<double>(slots) / static_cast<double>(~Key{0});
+    auto* model = new GplModel(0, slope, slots, slots / 2, ~Key{0},
+                               options_.use_huge_pages);
+    if (options_.enable_fast_pointers) {
+      const int32_t slot = fp_buffer_.AddPointer(art_.root(), 0, 0);
+      model->set_fp_index(slot);
+    }
+    directory_.Build({model}, options_.upper_radix_bits);
+    metrics::SetGauge(metrics::Gauge::kNumModels, 1);
+    metrics::RecordEvent(metrics::EventType::kBulkLoad, load_clock.ElapsedNanos(), 0);
+    return Status::OK();
   }
   for (size_t i = 1; i < n; ++i) {
     if (keys[i] <= keys[i - 1]) {
@@ -146,7 +170,7 @@ Status AltIndex::BulkLoad(const Key* keys, const Value* values, size_t n) {
   }
 
   for (const auto& [k, v] : conflicts) {
-    EpochGuard g;
+    EpochGuard g(*epoch_);
     art_.Insert(k, v);
   }
 
@@ -277,17 +301,17 @@ bool AltIndex::ArtInsert(GplModel* model, Key key,
 // ---------------------------------------------------------------------------
 
 bool AltIndex::Lookup(Key key, Value* out) const {
-  EpochGuard g;
+  EpochGuard g(*epoch_);
   return LookupInternal(key, out);
 }
 
 bool AltIndex::Lookup(Key key, Value* out, ServedBy* served) const {
-  EpochGuard g;
+  EpochGuard g(*epoch_);
   return LookupInternal(key, out, served);
 }
 
 bool AltIndex::LookupInternal(Key key, Value* out, ServedBy* served) const {
-  ALT_ASSERT_EPOCH_PINNED("AltIndex::LookupInternal");
+  ALT_ASSERT_EPOCH_PINNED("AltIndex::LookupInternal", *epoch_);
   for (;;) {
     const ModelDirectory::Snapshot* snap = directory_.snapshot();
     const size_t idx = ModelDirectory::Locate(*snap, key);
@@ -385,17 +409,17 @@ bool AltIndex::LookupInternal(Key key, Value* out, ServedBy* served) const {
 // ---------------------------------------------------------------------------
 
 bool AltIndex::Insert(Key key, Value value) {
-  EpochGuard g;
+  EpochGuard g(*epoch_);
   return InsertInternal(key, value);
 }
 
 bool AltIndex::Insert(Key key, Value value, ServedBy* served) {
-  EpochGuard g;
+  EpochGuard g(*epoch_);
   return InsertInternal(key, value, served);
 }
 
 bool AltIndex::Upsert(Key key, Value value) {
-  EpochGuard g;
+  EpochGuard g(*epoch_);
   for (;;) {
     if (InsertInternal(key, value)) return true;   // newly inserted
     if (UpdateInternal(key, value)) return false;  // overwrote existing
@@ -404,7 +428,7 @@ bool AltIndex::Upsert(Key key, Value value) {
 }
 
 bool AltIndex::InsertInternal(Key key, Value value, ServedBy* served) {
-  ALT_ASSERT_EPOCH_PINNED("AltIndex::InsertInternal");
+  ALT_ASSERT_EPOCH_PINNED("AltIndex::InsertInternal", *epoch_);
   for (;;) {
     const ModelDirectory::Snapshot* snap = directory_.snapshot();
     const size_t idx = ModelDirectory::Locate(*snap, key);
@@ -681,17 +705,17 @@ bool AltIndex::InsertIntoNewModel(GplModel* old_model, Expansion* exp, Key key,
 // ---------------------------------------------------------------------------
 
 bool AltIndex::Update(Key key, Value value) {
-  EpochGuard g;
+  EpochGuard g(*epoch_);
   return UpdateInternal(key, value);
 }
 
 bool AltIndex::Update(Key key, Value value, ServedBy* served) {
-  EpochGuard g;
+  EpochGuard g(*epoch_);
   return UpdateInternal(key, value, served);
 }
 
 bool AltIndex::UpdateInternal(Key key, Value value, ServedBy* served) {
-  ALT_ASSERT_EPOCH_PINNED("AltIndex::UpdateInternal");
+  ALT_ASSERT_EPOCH_PINNED("AltIndex::UpdateInternal", *epoch_);
   for (;;) {
     const ModelDirectory::Snapshot* snap = directory_.snapshot();
     const size_t idx = ModelDirectory::Locate(*snap, key);
@@ -779,17 +803,17 @@ bool AltIndex::UpdateInternal(Key key, Value value, ServedBy* served) {
 }
 
 bool AltIndex::Remove(Key key) {
-  EpochGuard g;
+  EpochGuard g(*epoch_);
   return RemoveInternal(key);
 }
 
 bool AltIndex::Remove(Key key, ServedBy* served) {
-  EpochGuard g;
+  EpochGuard g(*epoch_);
   return RemoveInternal(key, served);
 }
 
 bool AltIndex::RemoveInternal(Key key, ServedBy* served) {
-  ALT_ASSERT_EPOCH_PINNED("AltIndex::RemoveInternal");
+  ALT_ASSERT_EPOCH_PINNED("AltIndex::RemoveInternal", *epoch_);
   for (;;) {
     const ModelDirectory::Snapshot* snap = directory_.snapshot();
     const size_t idx = ModelDirectory::Locate(*snap, key);
@@ -887,32 +911,60 @@ size_t AltIndex::Scan(Key start, size_t count,
                       std::vector<std::pair<Key, Value>>* out) const {
   out->clear();
   if (count == 0) return 0;
-  EpochGuard g;
+  EpochGuard g(*epoch_);
   metrics::Inc(Counter::kScanOps);
 
   std::vector<std::pair<Key, Value>> learned;
-  const ModelDirectory::Snapshot* snap = directory_.snapshot();
-  const size_t num_models = snap->first_keys.size();
-  for (size_t i = ModelDirectory::Locate(*snap, start);
-       i < num_models && learned.size() < count; ++i) {
-    GplModel* model = snap->models[i].load(std::memory_order_acquire);
-    Expansion* exp = model->expansion();
-    const size_t before = learned.size();
-    model->CollectRange(start, ~Key{0}, &learned, count);
-    if (exp != nullptr) {
-      exp->new_model->CollectRange(start, ~Key{0}, &learned, count);
-      std::sort(learned.begin() + static_cast<ptrdiff_t>(before), learned.end());
-      // A key migrated to the temporal buffer between the two per-slot-atomic
-      // collection passes is observed by both; keep the first copy.
-      DedupeSortedTail(&learned, before);
-    }
-  }
-  // Keys in the learned layer are slot-ordered per model and models are
-  // disjoint and ascending, so `learned` is sorted.
-  const Key hi = learned.size() >= count ? learned[count - 1].first : ~Key{0};
-
   std::vector<std::pair<Key, Value>> art_items;
-  art_.RangeQuery(start, hi, &art_items);
+  for (;;) {
+    // Write-back seqlock read side: a concurrent ART→slot write-back could
+    // move a key out of ART after its (EMPTY) slot was already collected,
+    // hiding it from both layers of this composite read. Redo the collection
+    // if a write-back was active at any point during it (see
+    // WriteBackSection; point lookups use per-slot word validation instead).
+    const uint64_t wb_gen = write_back_gen_.load(std::memory_order_acquire);
+    if (write_backs_active_.load(std::memory_order_acquire) != 0) {
+      CpuRelax();
+      continue;
+    }
+    learned.clear();
+    art_items.clear();
+    const ModelDirectory::Snapshot* snap = directory_.snapshot();
+    const size_t num_models = snap->first_keys.size();
+    for (size_t i = ModelDirectory::Locate(*snap, start);
+         i < num_models && learned.size() < count; ++i) {
+      GplModel* model = snap->models[i].load(std::memory_order_acquire);
+      const size_t before = learned.size();
+      model->CollectRange(start, ~Key{0}, &learned, count);
+      bool expanded = false;
+      // Walk the whole §III-F expansion chain, not just one level: under
+      // churn the temporal buffer may itself be expanding (its old slots are
+      // marked kMigrated, so they no longer show up as occupied), and a
+      // one-level walk would skip every key already migrated to the second
+      // level. The chain passes also run uncapped — their `limit` counts
+      // pairs appended per call, so a `count` cap would drop migrated keys
+      // inside the window whenever a buffer holds more than `count`
+      // residents; cost is bounded by the chain's residents, and excess is
+      // truncated downstream.
+      for (Expansion* e = model->expansion(); e != nullptr;
+           e = e->new_model->expansion()) {
+        e->new_model->CollectRange(start, ~Key{0}, &learned);
+        expanded = true;
+      }
+      if (expanded) {
+        std::sort(learned.begin() + static_cast<ptrdiff_t>(before), learned.end());
+        // A key migrated to the temporal buffer between two per-slot-atomic
+        // collection passes is observed by both; keep the first copy.
+        DedupeSortedTail(&learned, before);
+      }
+    }
+    // Keys in the learned layer are slot-ordered per model and models are
+    // disjoint and ascending, so `learned` is sorted.
+    const Key hi = learned.size() >= count ? learned[count - 1].first : ~Key{0};
+
+    art_.RangeQuery(start, hi, &art_items);
+    if (write_back_gen_.load(std::memory_order_acquire) == wb_gen) break;
+  }
 
   MergePairs(learned, art_items, count, out);
   if (out->empty()) metrics::Inc(Counter::kEmptyScans);
@@ -923,28 +975,46 @@ size_t AltIndex::RangeQuery(Key lo, Key hi,
                             std::vector<std::pair<Key, Value>>* out) const {
   out->clear();
   if (hi < lo) return 0;
-  EpochGuard g;
+  EpochGuard g(*epoch_);
   metrics::Inc(Counter::kScanOps);
 
   std::vector<std::pair<Key, Value>> learned;
-  const ModelDirectory::Snapshot* snap = directory_.snapshot();
-  const size_t num_models = snap->first_keys.size();
-  for (size_t i = ModelDirectory::Locate(*snap, lo); i < num_models; ++i) {
-    if (snap->first_keys[i] > hi) break;
-    GplModel* model = snap->models[i].load(std::memory_order_acquire);
-    Expansion* exp = model->expansion();
-    const size_t before = learned.size();
-    model->CollectRange(lo, hi, &learned);
-    if (exp != nullptr) {
-      exp->new_model->CollectRange(lo, hi, &learned);
-      std::sort(learned.begin() + static_cast<ptrdiff_t>(before), learned.end());
-      // See Scan: drop the second copy of keys caught mid-migration.
-      DedupeSortedTail(&learned, before);
-    }
-  }
-
   std::vector<std::pair<Key, Value>> art_items;
-  art_.RangeQuery(lo, hi, &art_items);
+  for (;;) {
+    // See Scan: validate the composite models∪ART read against concurrent
+    // ART→slot write-backs.
+    const uint64_t wb_gen = write_back_gen_.load(std::memory_order_acquire);
+    if (write_backs_active_.load(std::memory_order_acquire) != 0) {
+      CpuRelax();
+      continue;
+    }
+    learned.clear();
+    art_items.clear();
+    const ModelDirectory::Snapshot* snap = directory_.snapshot();
+    const size_t num_models = snap->first_keys.size();
+    for (size_t i = ModelDirectory::Locate(*snap, lo); i < num_models; ++i) {
+      if (snap->first_keys[i] > hi) break;
+      GplModel* model = snap->models[i].load(std::memory_order_acquire);
+      const size_t before = learned.size();
+      model->CollectRange(lo, hi, &learned);
+      bool expanded = false;
+      // See Scan: follow the whole expansion chain or keys migrated past the
+      // first temporal buffer are silently dropped.
+      for (Expansion* e = model->expansion(); e != nullptr;
+           e = e->new_model->expansion()) {
+        e->new_model->CollectRange(lo, hi, &learned);
+        expanded = true;
+      }
+      if (expanded) {
+        std::sort(learned.begin() + static_cast<ptrdiff_t>(before), learned.end());
+        // See Scan: drop the second copy of keys caught mid-migration.
+        DedupeSortedTail(&learned, before);
+      }
+    }
+
+    art_.RangeQuery(lo, hi, &art_items);
+    if (write_back_gen_.load(std::memory_order_acquire) == wb_gen) break;
+  }
 
   MergePairs(learned, art_items, ~size_t{0}, out);
   return out->size();
@@ -990,6 +1060,7 @@ void AltIndex::EnsureArtKeyVisible(Key key) {
   // will re-arm strict_empty may already have passed this key's position in
   // ART, so the inserter itself must make the key slot-visible.
   if (st != SlotState::kEmpty) return;
+  WriteBackSection wb(this);
   const uint32_t lw = s->word.Lock();
   // TOCTOU guard (see InsertInternal): if an expansion appeared on `t` since
   // it was chosen, leave the key in ART — the suspended invariant keeps it
@@ -1078,6 +1149,7 @@ void AltIndex::FinishExpansion(GplModel* model,
     // Step 2: restore the zero-error invariant — ART keys of this model whose
     // new predicted slot is empty are written back (§III-F).
     trace::Span wb_span("retrain_write_back", "retrain");
+    WriteBackSection wb(this);
     const ModelDirectory::Snapshot* snap = directory_.snapshot();
     const size_t idx = ModelDirectory::Locate(*snap, model->first_key());
     const Key lo = model->first_key();
@@ -1158,6 +1230,7 @@ void AltIndex::AppendTailModelIfLast(const GplModel* published) {
                     static_cast<int64_t>(directory_.NumModels()));
   std::vector<std::pair<Key, Value>> strays;
   art_.RangeQuery(tail_first, ~Key{0}, &strays);
+  WriteBackSection wb(this);
   for (const auto& [k, unused_v] : strays) {
     GplSlot& s = tail->slot(tail->Predict(k));
     const uint32_t lw = s.word.Lock();
@@ -1189,7 +1262,7 @@ void AltIndex::AppendTailModelIfLast(const GplModel* published) {
 
 AltIndex::Stats AltIndex::CollectStats() const {
   Stats st;
-  EpochGuard g;
+  EpochGuard g(*epoch_);
   const ModelDirectory::Snapshot* snap = directory_.snapshot();
   if (snap != nullptr) {
     st.num_models = snap->first_keys.size();

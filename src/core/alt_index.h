@@ -215,6 +215,12 @@ class AltIndex {
   const AltOptions& options() const { return options_; }
   double effective_error_bound() const { return epsilon_; }
 
+  /// The epoch manager this index retires through: the instance from
+  /// AltOptions::epoch_manager, or the process-wide global. Readers outside
+  /// the index (tests, cross-shard merge cursors) pin it before touching
+  /// retire-capable internals.
+  EpochManager& epoch() const { return *epoch_; }
+
   /// Internal structures, exposed read-only for tests and benches.
   const art::ArtTree& art() const { return art_; }
   const FastPointerBuffer& fast_pointer_buffer() const { return fp_buffer_; }
@@ -279,8 +285,35 @@ class AltIndex {
   void FinishExpansion(GplModel* model, Expansion* exp) ALT_REQUIRES_EPOCH;
   void AppendTailModelIfLast(const GplModel* published);
 
+  /// RAII bracket around an ART→slot write-back (finish sweep, tail-append
+  /// sweep, EnsureArtKeyVisible). A write-back removes the key from ART after
+  /// locking its slot, so a scan that read the slot as EMPTY before the lock
+  /// and queries ART after the removal sees the key in *neither* layer. Point
+  /// lookups survive this by re-validating the routed slot word after an ART
+  /// miss; scans validate coarsely instead, against this generation seqlock
+  /// (see Scan).
+  class WriteBackSection {
+   public:
+    explicit WriteBackSection(const AltIndex* index) : index_(index) {
+      index_->write_backs_active_.fetch_add(1, std::memory_order_acq_rel);
+      index_->write_back_gen_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    ~WriteBackSection() {
+      index_->write_backs_active_.fetch_sub(1, std::memory_order_acq_rel);
+      index_->write_back_gen_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    WriteBackSection(const WriteBackSection&) = delete;
+    WriteBackSection& operator=(const WriteBackSection&) = delete;
+
+   private:
+    const AltIndex* index_;
+  };
+
   AltOptions options_;
   double epsilon_ = 0;
+  // Resolved before directory_/art_ (declaration order): both retire through
+  // this manager.
+  EpochManager* epoch_ = nullptr;
   ModelDirectory directory_;
   art::ArtTree art_;
   FastPointerBuffer fp_buffer_;
@@ -288,6 +321,11 @@ class AltIndex {
   std::atomic<size_t> size_{0};
   std::atomic<size_t> retrain_started_{0};
   std::atomic<size_t> retrain_finished_{0};
+
+  // Write-back seqlock (see WriteBackSection). `mutable`: bumped from
+  // EnsureArtKeyVisible and the expansion sweeps, read by const scans.
+  mutable std::atomic<uint64_t> write_back_gen_{0};
+  mutable std::atomic<uint32_t> write_backs_active_{0};
 };
 
 }  // namespace alt

@@ -5,9 +5,18 @@
 
 namespace alt {
 
+class EpochManager;
+
 /// \brief Tuning knobs for AltIndex. Defaults follow the paper's
 /// recommendations (§III-D, §IV-A4).
 struct AltOptions {
+  /// Epoch manager this index retires replaced models/nodes through. nullptr
+  /// (default) means the process-wide EpochManager::Global(), which is right
+  /// for a single index. Sharded deployments (src/shard/) hand each shard its
+  /// own manager so shards reclaim independently instead of serializing on
+  /// one global epoch. The manager must outlive the index.
+  EpochManager* epoch_manager = nullptr;
+
   /// GPL prediction error bound ε. 0 means "suggested": bulkload_size / 1000
   /// (the paper's guidance), floored at kMinErrorBound.
   double error_bound = 0.0;

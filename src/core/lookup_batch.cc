@@ -278,7 +278,7 @@ bool AltIndex::BatchStep(BatchCursor& c, Value* out, bool* found,
 size_t AltIndex::LookupBatch(const Key* keys, size_t n, Value* out,
                              bool* found) const {
   if (n == 0) return 0;
-  EpochGuard g;
+  EpochGuard g(*epoch_);
   trace::Span span("lookup_batch", "read", n);
 
   const uint32_t width = std::max(

@@ -6,6 +6,9 @@
 
 namespace alt {
 
+ModelDirectory::ModelDirectory(EpochManager* epoch)
+    : epoch_(epoch != nullptr ? epoch : &EpochManager::Global()) {}
+
 ModelDirectory::~ModelDirectory() {
   Snapshot* s = snapshot_.load(std::memory_order_acquire);
   if (s == nullptr) return;
@@ -56,8 +59,7 @@ bool ModelDirectory::PublishReplacement(GplModel* old_model, GplModel* new_model
   const size_t idx = Locate(*s, old_model->first_key());
   if (s->models[idx].load(std::memory_order_acquire) != old_model) return false;
   s->models[idx].store(new_model, std::memory_order_release);
-  EpochManager::Global().Retire(
-      old_model, [](void* p) { delete static_cast<GplModel*>(p); });
+  epoch_->Retire(old_model, [](void* p) { delete static_cast<GplModel*>(p); });
   return true;
 }
 
@@ -85,7 +87,7 @@ bool ModelDirectory::AppendTail(GplModel* model) {
 }
 
 void ModelDirectory::RetireSnapshot(Snapshot* s) {
-  EpochManager::Global().Retire(s, [](void* p) { delete static_cast<Snapshot*>(p); });
+  epoch_->Retire(s, [](void* p) { delete static_cast<Snapshot*>(p); });
 }
 
 size_t ModelDirectory::MemoryBytes() const {

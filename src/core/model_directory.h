@@ -14,6 +14,8 @@
 
 namespace alt {
 
+class EpochManager;
+
 /// \brief The flattened "upper model" (§III-B): an immutable sorted array of
 /// model first-keys published through an atomic snapshot pointer, plus the
 /// model pointers themselves.
@@ -24,8 +26,8 @@ namespace alt {
 ///  - appending a tail model (out-of-range catcher, §III-F) copies the
 ///    snapshot (copy-on-write) and swings the snapshot pointer.
 ///
-/// Readers run under an EpochGuard; replaced models/snapshots are retired to
-/// the epoch manager.
+/// Readers run under an EpochGuard on the directory's epoch manager;
+/// replaced models/snapshots are retired to that manager.
 class ModelDirectory {
  public:
   struct Snapshot {
@@ -40,7 +42,9 @@ class ModelDirectory {
     std::vector<uint32_t> radix;
   };
 
-  ModelDirectory() = default;
+  /// \param epoch manager replaced models/snapshots retire through; nullptr
+  ///        means EpochManager::Global(). Must outlive the directory.
+  explicit ModelDirectory(EpochManager* epoch = nullptr);
   ~ModelDirectory();
 
   ModelDirectory(const ModelDirectory&) = delete;
@@ -131,7 +135,9 @@ class ModelDirectory {
   static void BuildRadix(Snapshot* s, int radix_bits);
 
  private:
-  static void RetireSnapshot(Snapshot* s);
+  void RetireSnapshot(Snapshot* s);
+
+  EpochManager* epoch_;  // resolved at construction, never null
 
   /// Serializes structural changes (Build / PublishReplacement / AppendTail).
   /// Snapshots themselves stay readable lock-free through `snapshot_`.

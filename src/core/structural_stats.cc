@@ -56,7 +56,7 @@ void AppendKv(const char* name, uint64_t v, bool last, std::string* out) {
 
 AltIndex::StructuralStats AltIndex::CollectStructuralStats() const {
   StructuralStats st;
-  EpochGuard g;
+  EpochGuard g(*epoch_);
 
   st.header_bytes = sizeof(AltIndex);
   st.fast_pointer_bytes = fp_buffer_.MemoryBytes();

@@ -1,0 +1,157 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/epoch.h"
+#include "common/index_interface.h"
+#include "common/key_codec.h"
+#include "core/alt_index.h"
+
+namespace alt {
+namespace shard {
+
+/// How ShardedAltIndex maps a key to a shard.
+enum class Partition {
+  /// Contiguous key ranges, boundaries rebalanced to equal key counts at
+  /// BulkLoad. Scans touch only the shards overlapping the range; this is the
+  /// paper-faithful layout (nothing in a §III-E operation crosses a keyspace
+  /// boundary except Scan).
+  kRange,
+  /// splitmix64-mixed hash of the key modulo the shard count. Insert-balanced
+  /// under any key skew, but every Scan must k-way-merge all shards.
+  kHash,
+};
+
+/// Tuning for ShardedAltIndex.
+struct ShardedOptions {
+  /// Number of AltIndex shards; clamped to [1, kMaxShards].
+  int num_shards = 4;
+
+  Partition partition = Partition::kRange;
+
+  /// Build and bulk-load each shard on its own thread. Besides load speed,
+  /// this is the NUMA placement policy: first-touch puts each shard's models,
+  /// ART nodes, and epoch state on the page owned by the loading thread's
+  /// node (no libnuma dependency; see DESIGN.md §12).
+  bool parallel_load = true;
+
+  /// Round-robin the per-shard load threads across CPUs (Linux affinity;
+  /// no-op elsewhere). Only meaningful with parallel_load on a multi-socket
+  /// box where the scheduler would otherwise colocate the loaders.
+  bool pin_load_threads = false;
+
+  /// Per-shard AltIndex tuning. `index.epoch_manager` is ignored: each shard
+  /// always gets its own private EpochManager.
+  AltOptions index;
+
+  /// Pairs pulled per shard per refill by the cross-shard merge cursors.
+  size_t scan_batch = 128;
+
+  static constexpr int kMaxShards = 32;
+};
+
+/// \brief N AltIndex instances behind one ConcurrentIndex facade
+/// (ROADMAP item 1; DESIGN.md §12).
+///
+/// Each shard owns a private EpochManager, so retirement and reclamation —
+/// the one piece of read-side state every operation of a single AltIndex
+/// shares — scale with the shard count instead of serializing process-wide.
+/// The shard's manager carries a per-shard trace category, so flight-recorder
+/// epoch_advance/epoch_drain spans attribute to the owning shard.
+///
+/// Concurrency contract is ConcurrentIndex's: BulkLoad runs once,
+/// single-threaded, before anything else; all other operations are
+/// thread-safe. Point operations dispatch to exactly one shard and inherit
+/// its per-key linearizability. Cross-shard Scan merges per-shard cursors
+/// (merge_iterator.h) and matches AltIndex::Scan's per-slot-atomic contract.
+class ShardedAltIndex : public ConcurrentIndex {
+ public:
+  explicit ShardedAltIndex(ShardedOptions options = ShardedOptions{});
+  ~ShardedAltIndex() override;
+
+  ShardedAltIndex(const ShardedAltIndex&) = delete;
+  ShardedAltIndex& operator=(const ShardedAltIndex&) = delete;
+
+  std::string Name() const override;
+
+  /// Splits the (sorted, duplicate-free) data across shards — equal-count
+  /// range boundaries under kRange — and bulk-loads every shard, one thread
+  /// per shard when parallel_load is set.
+  Status BulkLoad(const Key* keys, const Value* values, size_t n) override;
+
+  bool Lookup(Key key, Value* out) override;
+  size_t LookupBatch(const Key* keys, size_t n, Value* out, bool* found) override;
+  bool Insert(Key key, Value value) override;
+  bool Update(Key key, Value value) override;
+  bool Remove(Key key) override;
+
+  bool LookupServed(Key key, Value* out, ServedBy* served) override;
+  bool InsertServed(Key key, Value value, ServedBy* served) override;
+  bool UpdateServed(Key key, Value value, ServedBy* served) override;
+  bool RemoveServed(Key key, ServedBy* served) override;
+
+  /// Up to `count` pairs with key >= start, ascending, merged across shards.
+  size_t Scan(Key start, size_t count,
+              std::vector<std::pair<Key, Value>>* out) override;
+
+  /// All pairs with lo <= key <= hi, ascending, merged across shards.
+  size_t RangeQuery(Key lo, Key hi, std::vector<std::pair<Key, Value>>* out);
+
+  MemoryBreakdown CollectMemoryBreakdown() const override;
+  std::string StructureJson() const override;
+  size_t MemoryUsage() const override;
+  size_t Size() const override;
+
+  // -- shard introspection (tests, benches) ---------------------------------
+
+  size_t num_shards() const { return shards_.size(); }
+  const AltIndex& shard(size_t i) const { return *shards_[i].index; }
+  EpochManager& shard_epoch(size_t i) { return *shards_[i].epoch; }
+
+  /// The shard `key` dispatches to (stable between structural phases).
+  size_t ShardIndexOf(Key key) const;
+
+  /// First key of shard i's range (kRange; meaningless under kHash).
+  Key ShardLowerBound(size_t i) const { return starts_[i]; }
+
+  /// Drain every shard's epoch manager (quiescent; between bench phases).
+  void DrainAllShards();
+
+  const ShardedOptions& options() const { return options_; }
+
+ private:
+  struct Shard {
+    std::unique_ptr<EpochManager> epoch;
+    std::unique_ptr<AltIndex> index;
+  };
+
+  /// Construct shard i's epoch manager + index (on the calling thread, which
+  /// is what makes parallel_load a first-touch policy).
+  Shard MakeShard(size_t i) const;
+
+  /// Scan under kRange: shards hold disjoint ascending ranges, so the k-way
+  /// merge degenerates to walking shards in order — no cross-shard heap, no
+  /// wasted Scan amplification on the shards past the fill point.
+  size_t ScanRangePartition(Key start, size_t count,
+                            std::vector<std::pair<Key, Value>>* out) const;
+
+  /// Scan under kHash: genuine k-way merge across every shard's cursor.
+  size_t ScanMerged(Key start, size_t count,
+                    std::vector<std::pair<Key, Value>>* out) const;
+
+  ShardedOptions options_;
+  std::vector<Shard> shards_;
+  /// starts_[i] = smallest key dispatched to shard i (kRange). starts_[0] is
+  /// always 0. Written only by the constructor and BulkLoad (single-threaded
+  /// phases by contract), read-only afterwards.
+  std::vector<Key> starts_;
+  bool loaded_ = false;
+};
+
+}  // namespace shard
+}  // namespace alt

@@ -42,9 +42,22 @@ TEST_F(AltIndexTest, BulkLoadRejectsDuplicates) {
   EXPECT_EQ(index.BulkLoad(keys, vals, 3).code(), Status::Code::kInvalidArgument);
 }
 
-TEST_F(AltIndexTest, BulkLoadRejectsEmpty) {
+TEST_F(AltIndexTest, BulkLoadEmptyPublishesWholeRangeTailModel) {
+  // n == 0 publishes one tail-like model spanning the whole keyspace so the
+  // index is fully operational before any data arrives (empty shards of a
+  // ShardedAltIndex rely on this).
   AltIndex index;
-  EXPECT_FALSE(index.BulkLoad(nullptr, nullptr, 0).ok());
+  ASSERT_TRUE(index.BulkLoad(nullptr, nullptr, 0).ok());
+  EXPECT_EQ(index.Size(), 0u);
+  Value v = 0;
+  EXPECT_FALSE(index.Lookup(1, &v));
+  EXPECT_TRUE(index.Insert(1, 10));
+  EXPECT_TRUE(index.Insert(~Key{0} - 1, 20));  // far end of the keyspace
+  EXPECT_TRUE(index.Lookup(1, &v));
+  EXPECT_EQ(v, 10u);
+  std::vector<std::pair<Key, Value>> out;
+  EXPECT_EQ(index.Scan(0, 10, &out), 2u);
+  EXPECT_EQ(index.Size(), 2u);
 }
 
 TEST_F(AltIndexTest, BulkLoadRunsOnce) {

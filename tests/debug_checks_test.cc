@@ -139,6 +139,37 @@ TEST_F(DebugChecksDeathTest, ArtLookupOutsideEpochGuardAborts) {
   EXPECT_DEATH(tree.Lookup(42, &v), "epoch-guard: ArtTree::Lookup");
 }
 
+TEST_F(DebugChecksDeathTest, DrainAllWhileReaderPinnedAborts) {
+  // DrainAll frees every retired item unconditionally — its contract is "no
+  // thread inside a read-side section". With per-shard managers multiplying
+  // the call sites, the contract is now checked: a still-pinned reader slot
+  // at drain time is a use-after-free in the making and must abort.
+  EXPECT_DEATH(
+      {
+        EpochManager mgr("debug-checks-drain");
+        std::atomic<bool> pinned{false};
+        std::thread reader([&] {
+          EpochGuard g(mgr);
+          pinned.store(true);
+          for (;;) std::this_thread::yield();  // never unpins
+        });
+        while (!pinned.load()) std::this_thread::yield();
+        mgr.Retire(new int(7), [](void* p) { delete static_cast<int*>(p); });
+        mgr.DrainAll();
+      },
+      "DrainAll while a reader is pinned");
+}
+
+TEST(DebugChecksTest, DrainAllQuietWhenQuiescent) {
+  EpochManager mgr("debug-checks-drain-quiet");
+  {
+    EpochGuard g(mgr);
+    mgr.Retire(new int(7), [](void* p) { delete static_cast<int*>(p); });
+  }
+  mgr.DrainAll();  // all guards released: the new check must stay silent
+  EXPECT_EQ(mgr.PendingCount(), 0u);
+}
+
 // --- positive control: correct usage stays quiet under the checkers ---
 
 TEST(DebugChecksTest, CheckersStayQuietUnderConcurrentChurn) {

@@ -135,6 +135,113 @@ TEST(EpochDeathTest, SlotExhaustionAbortsLoudly) {
       "thread slot exhaustion");
 }
 
+TEST(EpochTest, InstanceManagersRetireIndependently) {
+  g_deleted.store(0);
+  EpochManager a("epoch-test-a");
+  EpochManager b("epoch-test-b");
+  EXPECT_NE(a.ManagerId(), b.ManagerId());
+  for (int i = 0; i < 10; ++i) a.Retire(new Tracked(), DeleteTracked);
+  for (int i = 0; i < 5; ++i) b.Retire(new Tracked(), DeleteTracked);
+  EXPECT_EQ(a.PendingCount(), 10u);
+  EXPECT_EQ(b.PendingCount(), 5u);
+  a.DrainAll();
+  EXPECT_EQ(g_deleted.load(), 10) << "draining a must not touch b's items";
+  EXPECT_EQ(b.PendingCount(), 5u);
+  b.DrainAll();
+  EXPECT_EQ(g_deleted.load(), 15);
+}
+
+TEST(EpochTest, OneThreadInterleavesGuardsOnSeveralManagers) {
+  EpochManager a("epoch-test-a");
+  EpochManager b("epoch-test-b");
+  EXPECT_FALSE(a.CurrentThreadPinned());
+  {
+    EpochGuard ga(a);
+    EXPECT_TRUE(a.CurrentThreadPinned());
+    EXPECT_FALSE(b.CurrentThreadPinned()) << "pins are per manager";
+    {
+      EpochGuard gb(b);
+      EpochGuard gglobal;  // the global manager is just one more instance
+      EXPECT_TRUE(b.CurrentThreadPinned());
+      EXPECT_TRUE(EpochManager::Global().CurrentThreadPinned());
+    }
+    EXPECT_FALSE(b.CurrentThreadPinned());
+    EXPECT_TRUE(a.CurrentThreadPinned());
+  }
+  EXPECT_FALSE(a.CurrentThreadPinned());
+}
+
+TEST(EpochTest, InstanceReaderBlocksInstanceReclamationOnly) {
+  g_deleted.store(0);
+  EpochManager a("epoch-test-a");
+  EpochManager b("epoch-test-b");
+  std::atomic<bool> reader_in{false};
+  std::atomic<bool> release_reader{false};
+  std::thread reader([&] {
+    EpochGuard g(a);
+    reader_in.store(true);
+    while (!release_reader.load()) std::this_thread::yield();
+  });
+  while (!reader_in.load()) std::this_thread::yield();
+
+  Tracked* witness = new Tracked();
+  a.Retire(witness, DeleteTracked);
+  // b has no pinned reader: its retired items recycle across advances even
+  // while a's reader blocks a's reclamation.
+  for (int i = 0; i < 500; ++i) b.Retire(new Tracked(), DeleteTracked);
+  EXPECT_GT(g_deleted.load(), 0) << "a's reader must not stall b";
+  EXPECT_EQ(witness->payload, 7);
+
+  release_reader.store(true);
+  reader.join();
+  a.DrainAll();
+  b.DrainAll();
+  EXPECT_EQ(g_deleted.load(), 501);
+}
+
+TEST(EpochTest, ThreadsMayOutliveAnInstanceManager) {
+  g_deleted.store(0);
+  std::atomic<int> phase{0};
+  std::atomic<EpochManager*> shared_mgr{nullptr};
+  // The worker uses a short-lived manager, then keeps running (and exits)
+  // after the manager is destroyed — the refcounted per-thread records make
+  // both destruction orders safe.
+  std::thread worker([&] {
+    while (phase.load() == 0) std::this_thread::yield();
+    // phase 1: manager alive.
+    EpochManager* mgr = shared_mgr.load();
+    {
+      EpochGuard g(*mgr);
+      mgr->Retire(new Tracked(), DeleteTracked);
+    }
+    phase.store(2);
+    while (phase.load() == 2) std::this_thread::yield();
+    // phase 3: manager destroyed; thread exits normally.
+  });
+  {
+    EpochManager mgr("epoch-test-shortlived");
+    shared_mgr.store(&mgr);
+    phase.store(1);
+    while (phase.load() != 2) std::this_thread::yield();
+    EXPECT_EQ(mgr.RegisteredThreads(), 1u);
+  }  // ~EpochManager drains the worker's retired item
+  EXPECT_EQ(g_deleted.load(), 1);
+  phase.store(3);
+  worker.join();
+}
+
+TEST(EpochTest, SequentialManagersDoNotInheritThreadState) {
+  // A fresh manager may be allocated where a destroyed one lived; the
+  // id-keyed (not address-keyed) thread cache must register anew. 64 rounds
+  // on one thread also exercises pruning of dead-manager entries.
+  for (int round = 0; round < 64; ++round) {
+    EpochManager mgr("epoch-test-churn");
+    EpochGuard g(mgr);
+    mgr.Retire(new Tracked(), DeleteTracked);
+    EXPECT_EQ(mgr.RegisteredThreads(), 1u);
+  }
+}
+
 TEST(EpochTest, ManyThreadsRetireConcurrently) {
   g_deleted.store(0);
   constexpr int kThreads = 8;

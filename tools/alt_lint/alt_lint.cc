@@ -2,14 +2,15 @@
 //
 // Usage:
 //   alt-lint [--compdb compile_commands.json] [--verify-compdb]
-//            [--src-root DIR] [file.cc ...]
+//            [--src-root DIR]... [file.cc ...]
 //
-// With --src-root, every *.h / *.cc under the directory is checked (two-pass:
+// With --src-root (repeatable: `--src-root src --src-root examples`), every
+// *.h / *.cc / *.cpp under each directory is checked (two-pass:
 // ALT_REQUIRES_EPOCH names are collected across ALL inputs first, so the
 // epoch obligation propagates across translation units, not just within one).
-// With --compdb + --verify-compdb, exit non-zero if any src-root *.cc lacks a
-// compile_commands.json entry — the CI gate that keeps the lint surface and
-// the build surface identical.
+// With --compdb + --verify-compdb, exit non-zero if any src-root source file
+// lacks a compile_commands.json entry — the CI gate that keeps the lint
+// surface and the build surface identical.
 //
 // Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
 
@@ -66,11 +67,22 @@ std::string Canon(const std::string& path) {
   return ec ? path : c.string();
 }
 
+bool HasSuffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Translation units that must appear in the compdb (headers are excluded —
+// they compile only through their includers).
+bool IsSourceFile(const std::string& path) {
+  return HasSuffix(path, ".cc") || HasSuffix(path, ".cpp");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string compdb_path;
-  std::string src_root;
+  std::vector<std::string> src_roots;
   bool verify_compdb = false;
   std::vector<std::string> inputs;
 
@@ -86,12 +98,12 @@ int main(int argc, char** argv) {
     if (arg == "--compdb") {
       compdb_path = need_value("--compdb");
     } else if (arg == "--src-root") {
-      src_root = need_value("--src-root");
+      src_roots.push_back(need_value("--src-root"));
     } else if (arg == "--verify-compdb") {
       verify_compdb = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: alt-lint [--compdb FILE] [--verify-compdb] "
-                   "[--src-root DIR] [file ...]\n";
+                   "[--src-root DIR]... [file ...]\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "alt-lint: unknown flag '" << arg << "'\n";
@@ -101,7 +113,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!src_root.empty()) {
+  for (const std::string& src_root : src_roots) {
     std::error_code ec;
     if (!fs::is_directory(src_root, ec)) {
       std::cerr << "alt-lint: --src-root '" << src_root
@@ -111,7 +123,8 @@ int main(int argc, char** argv) {
     for (const auto& entry : fs::recursive_directory_iterator(src_root)) {
       if (!entry.is_regular_file()) continue;
       const std::string ext = entry.path().extension().string();
-      if (ext == ".h" || ext == ".cc") inputs.push_back(entry.path().string());
+      if (ext == ".h" || ext == ".cc" || ext == ".cpp")
+        inputs.push_back(entry.path().string());
     }
   }
   if (inputs.empty()) {
@@ -136,7 +149,7 @@ int main(int argc, char** argv) {
     std::set<std::string> canon_db;
     for (const std::string& f : CompdbFiles(json)) canon_db.insert(Canon(f));
     for (const std::string& in : inputs) {
-      if (in.size() < 3 || in.compare(in.size() - 3, 3, ".cc") != 0) continue;
+      if (!IsSourceFile(in)) continue;
       if (!canon_db.count(Canon(in))) {
         std::cerr << "alt-lint: " << in
                   << " missing from compile_commands.json — the lint/build "
