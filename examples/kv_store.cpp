@@ -1,12 +1,15 @@
-// kv_store: a miniature concurrent memory key-value store built on AltIndex —
-// the "memory database system" scenario from the paper's title.
+// kv_store: the "memory database system" scenario from the paper's title,
+// now as a *network* client-server demo. Where this example used to hammer an
+// in-process AltIndex directly, the real serving path lives in src/server/
+// (see DESIGN.md §13): an epoll server that coalesces pipelined GETs into
+// AMAC LookupBatches. This example boots that server in-process on an
+// ephemeral loopback port, then talks to it exclusively through the wire
+// protocol (docs/PROTOCOL.md) like any remote client would.
 //
-//   $ ./build/examples/kv_store [num_threads] [seconds]
+//   $ ./build/examples/kv_store [num_clients] [ops_per_client]
 //
-// Spawns writer, reader and scanner threads against one shared index and
-// reports per-role throughput, demonstrating the §III-E concurrency design
-// end to end (optimistic slot versions + OLC ART + epoch reclamation).
-#include <atomic>
+// For a real two-process setup, run ./build/tools/alt_server and
+// ./build/tools/alt_loadgen instead — docs/OPERATIONS.md walks through it.
 #include <cstdio>
 #include <cstdlib>
 #include <thread>
@@ -14,93 +17,88 @@
 
 #include "common/random.h"
 #include "common/timer.h"
-#include "common/zipf.h"
-#include "core/alt_index.h"
 #include "datasets/dataset.h"
+#include "server/client.h"
+#include "server/server.h"
 
 int main(int argc, char** argv) {
   using namespace alt;
-  const int num_threads = argc > 1 ? std::atoi(argv[1]) : 4;
-  const double seconds = argc > 2 ? std::atof(argv[2]) : 3.0;
+  const int num_clients = argc > 1 ? std::atoi(argv[1]) : 4;
+  const uint64_t ops_per_client = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                           : 20000;
 
-  // Seed the store with half a million user records.
-  const size_t n = 500000;
+  // Seed the store with 200k user records and start serving on loopback.
+  const size_t n = 200000;
   std::vector<Key> keys = GenerateKeys(Dataset::kFb, n, 99);
   std::vector<Value> values(n);
   for (size_t i = 0; i < n; ++i) values[i] = ValueFor(keys[i]);
 
-  AltIndex store;
-  if (!store.BulkLoad(keys.data(), values.data(), n).ok()) return 1;
-  std::printf("kv_store: %zu records loaded, %d worker threads, %.1fs run\n",
-              store.Size(), num_threads, seconds);
+  server::ServerOptions opt;
+  opt.port = 0;  // ephemeral
+  opt.sharded.num_shards = 2;
+  server::KvServer srv(opt);
+  if (!srv.Preload(keys.data(), values.data(), n).ok()) return 1;
+  if (!srv.Start().ok()) return 1;
+  std::printf("kv_store: serving %zu records on 127.0.0.1:%u "
+              "(%d workers, batch %zu, %d shards)\n",
+              n, srv.port(), opt.num_workers, opt.batch_size,
+              opt.sharded.num_shards);
 
-  std::atomic<bool> stop{false};
-  std::atomic<uint64_t> reads{0}, writes{0}, scans{0}, misses{0}, failures{0};
-
-  std::vector<std::thread> workers;
-  for (int t = 0; t < num_threads; ++t) {
-    workers.emplace_back([&, t] {
-      Rng rng(7 * t + 1);
-      ScrambledZipf zipf(n, 0.99, 1000 + t);
-      std::vector<std::pair<Key, Value>> window;
-      uint64_t local_reads = 0, local_writes = 0, local_scans = 0;
-      uint64_t local_misses = 0, local_failures = 0;
-      uint64_t next_key = 0xF000000000000000ULL + (static_cast<uint64_t>(t) << 40);
-      while (!stop.load(std::memory_order_acquire)) {
-        const uint64_t dice = rng.NextBounded(100);
-        if (dice < 60) {  // 60% point reads, zipfian hot set
-          Value v;
-          if (!store.Lookup(keys[zipf.Next()], &v)) ++local_misses;
-          ++local_reads;
-        } else if (dice < 90) {  // 30% writes: upsert fresh or update hot
-          if (dice < 75) {
-            if (!store.Insert(next_key++, dice)) ++local_failures;
-          } else {
-            if (!store.Update(keys[zipf.Next()], dice)) ++local_failures;
+  // Each client pipelines GET windows (which the server coalesces into
+  // LookupBatches) and sprinkles in PUT/DEL/SCAN round-trips.
+  std::vector<uint64_t> done(static_cast<size_t>(num_clients), 0);
+  std::vector<std::thread> clients;
+  const uint64_t start_ns = NowNanos();
+  for (int t = 0; t < num_clients; ++t) {
+    clients.emplace_back([&, t] {
+      server::KvClient c;
+      if (!c.Connect("127.0.0.1", srv.port(), 2000).ok()) return;
+      uint64_t state = 0x9e3779b97f4a7c15ull * (t + 1);
+      Key scratch = 0xF000000000000000ull + (static_cast<uint64_t>(t) << 32);
+      for (uint64_t i = 0; i < ops_per_client;) {
+        // A pipelined window of 8 GETs: one Flush, 8 in-order responses.
+        const int window = 8;
+        for (int w = 0; w < window; ++w) {
+          c.QueueGet(keys[SplitMix64(state) % n]);
+        }
+        if (!c.Flush().ok()) return;
+        for (int w = 0; w < window; ++w) {
+          server::Response r;
+          if (!c.ReceiveResponse(&r).ok() ||
+              r.status != server::RespStatus::kOk) {
+            return;
           }
-          ++local_writes;
-        } else {  // 10% short scans
-          store.Scan(keys[zipf.Next()], 20, &window);
-          ++local_scans;
+        }
+        i += window;
+        done[static_cast<size_t>(t)] += window;
+        // Occasional writes and a short scan, blocking round-trips.
+        if (i % 512 == 0) {
+          bool created = false, existed = false;
+          std::vector<std::pair<Key, Value>> rows;
+          if (!c.Put(scratch, i, &created).ok()) return;
+          if (!c.Scan(keys[SplitMix64(state) % n], 10, &rows).ok()) return;
+          if (!c.Del(scratch, &existed).ok()) return;
+          ++scratch;
+          done[static_cast<size_t>(t)] += 3;
+          i += 3;
         }
       }
-      reads.fetch_add(local_reads, std::memory_order_relaxed);
-      writes.fetch_add(local_writes, std::memory_order_relaxed);
-      scans.fetch_add(local_scans, std::memory_order_relaxed);
-      misses.fetch_add(local_misses, std::memory_order_relaxed);
-      failures.fetch_add(local_failures, std::memory_order_relaxed);
     });
   }
+  for (auto& th : clients) th.join();
+  const double secs = static_cast<double>(NowNanos() - start_ns) * 1e-9;
 
-  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
-  stop.store(true, std::memory_order_release);
-  for (auto& w : workers) w.join();
-
-  // workers are joined: relaxed loads are enough for the final tallies.
-  const uint64_t r = reads.load(std::memory_order_relaxed);
-  const uint64_t w = writes.load(std::memory_order_relaxed);
-  const uint64_t s = scans.load(std::memory_order_relaxed);
-  const double total = static_cast<double>(r + w + s);
-  std::printf("reads  : %10llu\n", static_cast<unsigned long long>(r));
-  std::printf("writes : %10llu\n", static_cast<unsigned long long>(w));
-  std::printf("scans  : %10llu\n", static_cast<unsigned long long>(s));
-  std::printf("total  : %.2f Mops/s\n", total / seconds / 1e6);
-  // Every read targets a seeded key and upsert keys are per-thread unique, so
-  // any miss or failed write is a correctness bug, not workload noise.
-  const uint64_t miss = misses.load(std::memory_order_relaxed);
-  const uint64_t fail = failures.load(std::memory_order_relaxed);
-  std::printf("lookup misses: %llu | failed writes: %llu\n",
-              static_cast<unsigned long long>(miss),
-              static_cast<unsigned long long>(fail));
-  if (miss != 0 || fail != 0) {
-    std::fprintf(stderr, "kv_store: FAILED (%llu misses, %llu write failures)\n",
-                 static_cast<unsigned long long>(miss),
-                 static_cast<unsigned long long>(fail));
-    return 1;
-  }
-
-  const auto st = store.CollectStats();
-  std::printf("final size %zu keys | %zu models | %zu in ART | %zu retrains\n",
-              store.Size(), st.num_models, st.art_keys, st.retrain_finished);
-  return 0;
+  uint64_t total = 0;
+  for (uint64_t d : done) total += d;
+  const server::ServerStats stats = srv.CollectStats();
+  std::printf("kv_store: %llu ops in %.2fs (%.2f Mops/s) over the wire\n",
+              static_cast<unsigned long long>(total), secs,
+              static_cast<double>(total) / secs / 1e6);
+  std::printf("kv_store: server coalesced %llu GETs into %llu LookupBatch "
+              "flushes (mean occupancy %.2f)\n",
+              static_cast<unsigned long long>(stats.batch_keys),
+              static_cast<unsigned long long>(stats.batch_flushes),
+              stats.mean_batch_occupancy());
+  srv.Stop();
+  return total > 0 ? 0 : 1;
 }

@@ -42,7 +42,7 @@ run_tsan() {
   # tsan.supp covers only OlcBTree's by-design optimistic reads.
   local t
   for t in art_test retraining_test concurrency_test olc_btree_test \
-           lookup_batch_test epoch_test shard_test; do
+           lookup_batch_test epoch_test shard_test server_test; do
     TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 suppressions=$PWD/tsan.supp" \
       "./build-tsan/tests/$t"
   done
@@ -59,7 +59,8 @@ run_lint() {
   cmake --build build-lint -j --target alt-lint
   ./build-lint/tools/alt_lint/alt-lint \
     --compdb build-lint/compile_commands.json \
-    --src-root src --src-root examples --src-root bench --verify-compdb
+    --src-root src --src-root examples --src-root bench \
+    --src-root tools/alt_server --src-root tools/alt_loadgen --verify-compdb
 }
 
 case "$mode" in

@@ -27,6 +27,11 @@ const char* CounterName(Counter c) {
     case Counter::kTailModelsAppended: return "tail_models_appended";
     case Counter::kBatchLookups: return "batch_lookups";
     case Counter::kBatchScalarFallbacks: return "batch_scalar_fallbacks";
+    case Counter::kServerAccepts: return "server_accepts";
+    case Counter::kServerFramesIn: return "server_frames_in";
+    case Counter::kServerBatchFlushes: return "server_batch_flushes";
+    case Counter::kServerBatchKeys: return "server_batch_keys";
+    case Counter::kServerMalformedFrames: return "server_malformed_frames";
     case Counter::kCount: break;
   }
   return "unknown";

@@ -60,6 +60,11 @@ enum class Counter : uint32_t {
   kTailModelsAppended,  ///< tail models appended after a last-model retrain
   kBatchLookups,        ///< keys resolved through the batched read path
   kBatchScalarFallbacks,  ///< batch cursors that dropped to the scalar path
+  kServerAccepts,       ///< connections accepted by alt_server (DESIGN.md §13)
+  kServerFramesIn,      ///< request frames decoded by server workers
+  kServerBatchFlushes,  ///< coalesced LookupBatch flushes issued by workers
+  kServerBatchKeys,     ///< GET keys carried by those flushes (keys/flushes = mean occupancy)
+  kServerMalformedFrames,  ///< frames rejected by protocol validation
   kCount
 };
 constexpr size_t kNumCounters = static_cast<size_t>(Counter::kCount);

@@ -1,0 +1,255 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "common/timer.h"
+
+namespace alt {
+namespace server {
+
+Status KvClient::Connect(const std::string& host, uint16_t port,
+                         uint64_t retry_for_ms) {
+  Close();
+  const uint64_t deadline_ns = NowNanos() + retry_for_ms * 1000000ull;
+  for (;;) {
+    fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) return Status::IOError("socket() failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      Close();
+      return Status::InvalidArgument("host must be an IPv4 literal: " + host);
+    }
+    if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      int one = 1;
+      setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Status::OK();
+    }
+    const int err = errno;
+    Close();
+    if ((err == ECONNREFUSED || err == ETIMEDOUT) && NowNanos() < deadline_ns) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      continue;
+    }
+    return Status::IOError(std::string("connect() failed: ") + std::strerror(err));
+  }
+}
+
+void KvClient::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status KvClient::SendAll(const uint8_t* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t k = send(fd_, data + off, n - off, MSG_NOSIGNAL);
+    if (k > 0) {
+      off += static_cast<size_t>(k);
+      continue;
+    }
+    if (k < 0 && errno == EINTR) continue;
+    return Status::IOError(std::string("send() failed: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+uint64_t KvClient::QueueGet(Key key) {
+  const uint64_t id = next_id_++;
+  AppendGet(&send_buf_, id, key);
+  return id;
+}
+
+uint64_t KvClient::QueuePut(Key key, Value value) {
+  const uint64_t id = next_id_++;
+  AppendPut(&send_buf_, id, key, value);
+  return id;
+}
+
+uint64_t KvClient::QueueDel(Key key) {
+  const uint64_t id = next_id_++;
+  AppendDel(&send_buf_, id, key);
+  return id;
+}
+
+uint64_t KvClient::QueueScan(Key start, uint32_t count) {
+  const uint64_t id = next_id_++;
+  AppendScan(&send_buf_, id, start, count);
+  return id;
+}
+
+uint64_t KvClient::QueueStats() {
+  const uint64_t id = next_id_++;
+  AppendStats(&send_buf_, id);
+  return id;
+}
+
+Status KvClient::Flush() {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  Status s = SendAll(send_buf_.data(), send_buf_.size());
+  send_buf_.clear();
+  return s;
+}
+
+bool DecodeResponse(const FrameHeader& h, const uint8_t* body, Response* resp) {
+  resp->request_id = h.request_id;
+  resp->status = h.status();
+  resp->pairs.clear();
+  resp->json.clear();
+  resp->value = 0;
+  resp->created = false;
+  if (resp->status != RespStatus::kOk) {
+    return h.body_len == 0;  // error responses are bodyless
+  }
+  // kOk payload layout is selected by the echoed request opcode (header
+  // byte 6) — never by guessing at the body shape.
+  switch (static_cast<Op>(h.echo_op)) {
+    case Op::kGet:
+      if (h.body_len != 8) return false;
+      resp->value = GetU64(body);
+      return true;
+    case Op::kPut:
+      if (h.body_len != 1) return false;
+      resp->created = body[0] != 0;
+      return true;
+    case Op::kDel:
+      return h.body_len == 0;
+    case Op::kScan: {
+      if (h.body_len < 4) return false;
+      const uint32_t n = GetU32(body);
+      if (h.body_len != 4 + static_cast<uint64_t>(n) * 16) return false;
+      resp->pairs.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        const uint8_t* p = body + 4 + i * 16;
+        resp->pairs.emplace_back(GetU64(p), GetU64(p + 8));
+      }
+      return true;
+    }
+    case Op::kStats:
+      resp->json.assign(reinterpret_cast<const char*>(body), h.body_len);
+      return true;
+  }
+  return false;
+}
+
+Status KvClient::ReceiveResponse(Response* resp) {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  for (;;) {
+    FrameHeader h;
+    const uint8_t* body = nullptr;
+    FrameDecoder::Result r = dec_.Next(&h, &body);
+    if (r == FrameDecoder::Result::kFrame) {
+      if (!h.is_response()) {
+        return Status::Internal("server sent a non-response frame");
+      }
+      DecodeResponse(h, body, resp);
+      return Status::OK();
+    }
+    if (r == FrameDecoder::Result::kError) {
+      return Status::Internal(std::string("protocol error: ") + dec_.error());
+    }
+    uint8_t buf[16384];
+    ssize_t k = recv(fd_, buf, sizeof(buf), 0);
+    if (k > 0) {
+      dec_.Feed(buf, static_cast<size_t>(k));
+      continue;
+    }
+    if (k == 0) return Status::IOError("connection closed by server");
+    if (errno == EINTR) continue;
+    return Status::IOError(std::string("recv() failed: ") + std::strerror(errno));
+  }
+}
+
+Status KvClient::Get(Key key, Value* out, bool* found) {
+  QueueGet(key);
+  Status s = Flush();
+  if (!s.ok()) return s;
+  Response resp;
+  s = ReceiveResponse(&resp);
+  if (!s.ok()) return s;
+  if (resp.status == RespStatus::kOk) {
+    *found = true;
+    *out = resp.value;
+    return Status::OK();
+  }
+  if (resp.status == RespStatus::kNotFound) {
+    *found = false;
+    return Status::OK();
+  }
+  return Status::Internal(std::string("GET failed: ") + RespStatusName(resp.status));
+}
+
+Status KvClient::Put(Key key, Value value, bool* created) {
+  QueuePut(key, value);
+  Status s = Flush();
+  if (!s.ok()) return s;
+  Response resp;
+  s = ReceiveResponse(&resp);
+  if (!s.ok()) return s;
+  if (resp.status != RespStatus::kOk) {
+    return Status::Internal(std::string("PUT failed: ") + RespStatusName(resp.status));
+  }
+  if (created != nullptr) *created = resp.created;
+  return Status::OK();
+}
+
+Status KvClient::Del(Key key, bool* existed) {
+  QueueDel(key);
+  Status s = Flush();
+  if (!s.ok()) return s;
+  Response resp;
+  s = ReceiveResponse(&resp);
+  if (!s.ok()) return s;
+  if (resp.status == RespStatus::kOk) {
+    *existed = true;
+    return Status::OK();
+  }
+  if (resp.status == RespStatus::kNotFound) {
+    *existed = false;
+    return Status::OK();
+  }
+  return Status::Internal(std::string("DEL failed: ") + RespStatusName(resp.status));
+}
+
+Status KvClient::Scan(Key start, uint32_t count,
+                      std::vector<std::pair<Key, Value>>* out) {
+  QueueScan(start, count);
+  Status s = Flush();
+  if (!s.ok()) return s;
+  Response resp;
+  s = ReceiveResponse(&resp);
+  if (!s.ok()) return s;
+  if (resp.status != RespStatus::kOk) {
+    return Status::Internal(std::string("SCAN failed: ") + RespStatusName(resp.status));
+  }
+  *out = std::move(resp.pairs);
+  return Status::OK();
+}
+
+Status KvClient::Stats(std::string* json) {
+  QueueStats();
+  Status s = Flush();
+  if (!s.ok()) return s;
+  Response resp;
+  s = ReceiveResponse(&resp);
+  if (!s.ok()) return s;
+  if (resp.status != RespStatus::kOk) {
+    return Status::Internal(std::string("STATS failed: ") + RespStatusName(resp.status));
+  }
+  *json = std::move(resp.json);
+  return Status::OK();
+}
+
+}  // namespace server
+}  // namespace alt

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file
+/// \brief Minimal blocking client for the ALT wire protocol (docs/PROTOCOL.md).
+///
+/// One KvClient wraps one TCP connection. The simple methods (Get/Put/Del/
+/// Scan/Stats) are strictly request-response; the Send*/ReceiveResponse pair
+/// exposes pipelining — queue any number of requests, then collect responses
+/// in request order — which is what the load generator and the pipelining
+/// tests build on. Not thread-safe: one connection, one thread.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/key_codec.h"
+#include "common/status.h"
+#include "server/protocol.h"
+
+namespace alt {
+namespace server {
+
+/// A decoded response frame with its payload copied out.
+struct Response {
+  uint64_t request_id = 0;
+  RespStatus status = RespStatus::kServerError;
+  Value value = 0;                            ///< GET kOk
+  bool created = false;                       ///< PUT kOk
+  std::vector<std::pair<Key, Value>> pairs;   ///< SCAN kOk
+  std::string json;                           ///< STATS kOk
+};
+
+class KvClient {
+ public:
+  KvClient() = default;
+  ~KvClient() { Close(); }
+  KvClient(const KvClient&) = delete;
+  KvClient& operator=(const KvClient&) = delete;
+
+  /// Connect to host:port. `retry_for_ms` keeps retrying connection-refused
+  /// for that long (a just-started server may not be listening yet).
+  Status Connect(const std::string& host, uint16_t port,
+                 uint64_t retry_for_ms = 0);
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  // -- blocking request-response ops ----------------------------------------
+
+  /// \return OK with *found / *out set; non-OK only on transport/protocol
+  /// failure (a miss is OK + *found == false).
+  Status Get(Key key, Value* out, bool* found);
+  /// Upsert. *created (optional) reports insert-vs-update.
+  Status Put(Key key, Value value, bool* created = nullptr);
+  /// \return OK with *existed set.
+  Status Del(Key key, bool* existed);
+  Status Scan(Key start, uint32_t count,
+              std::vector<std::pair<Key, Value>>* out);
+  Status Stats(std::string* json);
+
+  // -- pipelining ------------------------------------------------------------
+
+  /// Queue a request into the send buffer (assigns and returns a request id).
+  uint64_t QueueGet(Key key);
+  uint64_t QueuePut(Key key, Value value);
+  uint64_t QueueDel(Key key);
+  uint64_t QueueScan(Key start, uint32_t count);
+  uint64_t QueueStats();
+
+  /// Write the queued bytes to the socket (blocking until fully sent).
+  Status Flush();
+
+  /// Block until the next response frame arrives and decode it. Responses
+  /// arrive in request order per connection.
+  Status ReceiveResponse(Response* resp);
+
+ private:
+  Status SendAll(const uint8_t* data, size_t n);
+
+  int fd_ = -1;
+  uint64_t next_id_ = 1;
+  std::vector<uint8_t> send_buf_;
+  FrameDecoder dec_;
+};
+
+/// Decode one response frame's payload into `resp` (shared with the load
+/// generator's nonblocking receive path). Returns false when the body does
+/// not match the status code's layout.
+bool DecodeResponse(const FrameHeader& h, const uint8_t* body, Response* resp);
+
+}  // namespace server
+}  // namespace alt

@@ -135,7 +135,9 @@ TEST_F(MetricsTest, ToJsonGolden) {
             "\"fast_pointer_hits\":0,\"write_backs\":0,\"scan_ops\":0,"
             "\"empty_scans\":0,\"retrain_started\":0,\"retrain_finished\":0,"
             "\"tail_models_appended\":0,\"batch_lookups\":0,"
-            "\"batch_scalar_fallbacks\":0},"
+            "\"batch_scalar_fallbacks\":0,\"server_accepts\":0,"
+            "\"server_frames_in\":0,\"server_batch_flushes\":0,"
+            "\"server_batch_keys\":0,\"server_malformed_frames\":0},"
             "\"fp_hit_depth\":[0,0,0,0,1,0,0,0,0],"
             "\"gauges\":{\"num_models\":5,\"live_keys\":0},"
             "\"events\":[{\"type\":\"tail_model_append\",\"at_ns\":456,"
