@@ -32,6 +32,7 @@ const char* CounterName(Counter c) {
     case Counter::kServerBatchFlushes: return "server_batch_flushes";
     case Counter::kServerBatchKeys: return "server_batch_keys";
     case Counter::kServerMalformedFrames: return "server_malformed_frames";
+    case Counter::kServerWorkerFailures: return "server_worker_failures";
     case Counter::kCount: break;
   }
   return "unknown";

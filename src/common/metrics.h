@@ -65,6 +65,7 @@ enum class Counter : uint32_t {
   kServerBatchFlushes,  ///< coalesced LookupBatch flushes issued by workers
   kServerBatchKeys,     ///< GET keys carried by those flushes (keys/flushes = mean occupancy)
   kServerMalformedFrames,  ///< frames rejected by protocol validation
+  kServerWorkerFailures,   ///< worker threads that exited on an epoll error
   kCount
 };
 constexpr size_t kNumCounters = static_cast<size_t>(Counter::kCount);

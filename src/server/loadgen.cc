@@ -180,10 +180,16 @@ class LoadThread {
       req.op = Op::kPut;
       req.key = next_put_key_++;
       c.owned.push_back(req.key);
-    } else if (dice < opt_.put_pct + opt_.del_pct && !c.owned.empty()) {
-      req.op = Op::kDel;
-      req.key = c.owned.back();
-      c.owned.pop_back();
+    } else if (dice < opt_.put_pct + opt_.del_pct) {
+      if (!c.owned.empty()) {
+        req.op = Op::kDel;
+        req.key = c.owned.back();
+        c.owned.pop_back();
+      } else {
+        // Nothing deletable yet (no PUT completed on this connection):
+        // degrade to GET so the SCAN share stays at scan_pct exactly.
+        req.key = keys_[rng_.NextBounded(keys_.size())];
+      }
     } else if (dice < opt_.put_pct + opt_.del_pct + opt_.scan_pct) {
       req.op = Op::kScan;
       req.key = keys_[rng_.NextBounded(keys_.size())];

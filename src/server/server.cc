@@ -101,7 +101,23 @@ class KvServer::Worker {
 
   void Join() {
     if (thread_.joinable()) thread_.join();
+    // Stop() joins the acceptor before the workers, so by now no more
+    // Enqueues can race this drain. Connections handed off after the
+    // worker's final AdoptPending() would otherwise leak fd + heap.
+    std::vector<Conn*> orphaned;
+    {
+      SpinLockGuard g(pending_lock_);
+      orphaned.swap(pending_);
+    }
+    for (Conn* c : orphaned) {
+      close(c->fd);
+      delete c;
+    }
   }
+
+  /// True once Run() has returned (epoll failure or shutdown); the acceptor
+  /// stops routing new connections to an exited worker.
+  bool exited() const { return exited_.load(std::memory_order_acquire); }
 
   /// Acceptor-side handoff: the lock pairs with AdoptPending() on the worker
   /// thread, so the worker sees a fully constructed Conn.
@@ -132,13 +148,23 @@ class KvServer::Worker {
   void Run() {
     std::vector<epoll_event> events(64);
     while (!server_->stopping_.load(std::memory_order_acquire)) {
+      // Frames left buffered by fairness/backpressure yields get no new
+      // kernel event (ET, bytes already read): poll instead of sleeping so
+      // revisit work is not delayed by up to kEpollTimeoutMs.
+      const int timeout_ms = HasRevisitWork() ? 0 : kEpollTimeoutMs;
       int n = epoll_wait(epfd_, events.data(), static_cast<int>(events.size()),
-                         kEpollTimeoutMs);
+                         timeout_ms);
       AdoptPending();
       if (server_->stopping_.load(std::memory_order_acquire)) break;
       if (n < 0) {
         if (errno == EINTR) continue;
-        break;  // unrecoverable epoll failure; worker exits, Stop() reaps
+        // Unrecoverable epoll failure: this worker can no longer serve. Flag
+        // it so the acceptor stops routing new connections here, and leave a
+        // trail (stderr + counter) — silence would look like a client hang.
+        std::fprintf(stderr, "[alt_server] worker %d: epoll_wait failed: %s; worker exiting\n",
+                     id_, std::strerror(errno));
+        metrics::Inc(metrics::Counter::kServerWorkerFailures);
+        break;
       }
       bool any_ready = n > 0;
       for (int i = 0; i < n; ++i) {
@@ -160,18 +186,28 @@ class KvServer::Worker {
       DrainCycle();
     }
     // Worker exit: FlushBatch ran inside the last DrainCycle; nothing is
-    // in flight. Close everything we own.
+    // in flight. Close everything we own. pending_ is drained by Join()
+    // once the acceptor can no longer hand off new connections.
     for (Conn* c : conns_) {
       close(c->fd);
       delete c;
     }
     open_conns_.store(0, std::memory_order_relaxed);
     conns_.clear();
+    exited_.store(true, std::memory_order_release);
   }
 
+  /// Actionable buffered work: frames/bytes the next drain cycle could make
+  /// progress on right now. Connections gated on the client draining output
+  /// (backpressure, or closing with unflushed responses) are excluded: their
+  /// FlushOut already hit EAGAIN and armed EPOLLOUT, so epoll is the right
+  /// thing to wait on — counting them would turn the zero-timeout revisit
+  /// poll in Run() into a busy spin.
   bool HasRevisitWork() const {
     for (Conn* c : conns_) {
-      if (c->closing || c->read_ready || c->dec.HasCompleteFrame()) return true;
+      if (c->closing) continue;  // reaped same cycle, or waiting on EPOLLOUT
+      if (c->pending_out() > server_->options_.max_pending_out_bytes) continue;
+      if (c->read_ready || c->dec.HasCompleteFrame()) return true;
     }
     return false;
   }
@@ -240,7 +276,9 @@ class KvServer::Worker {
       }
       if (r == FrameDecoder::Result::kError) {
         // Framing is unrecoverable (no boundary to resync on): best-effort
-        // MALFORMED notice with request_id 0, then close.
+        // MALFORMED notice with request_id 0, then close. Flush first so the
+        // notice does not overtake responses to earlier coalesced GETs.
+        FlushBatch();
         malformed_.fetch_add(1, std::memory_order_relaxed);
         metrics::Inc(metrics::Counter::kServerMalformedFrames);
         AppendStatusResponse(&c->out, 0, RespStatus::kMalformed);
@@ -274,6 +312,9 @@ class KvServer::Worker {
     metrics::Inc(metrics::Counter::kServerFramesIn);
     const RespStatus v = ValidateRequest(h);
     if (v != RespStatus::kOk) {
+      // Error responses obey per-connection order too (PROTOCOL.md lets
+      // clients match positionally): flush coalesced GETs before replying.
+      FlushBatch();
       malformed_.fetch_add(1, std::memory_order_relaxed);
       metrics::Inc(metrics::Counter::kServerMalformedFrames);
       Respond(c, [&] { AppendStatusResponse(&c->out, h.request_id, v, h.code); });
@@ -463,6 +504,7 @@ class KvServer::Worker {
   std::atomic<uint64_t> batch_flushes_{0};
   std::atomic<uint64_t> batch_keys_{0};
   std::atomic<uint64_t> open_conns_{0};
+  std::atomic<bool> exited_{false};
   std::array<std::atomic<uint64_t>, kMaxBatch + 1> occ_hist_;
 };
 
@@ -569,8 +611,16 @@ void KvServer::AcceptLoop() {
         int one = 1;
         setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
         Conn* c = new Conn(fd);
-        const uint64_t w =
-            next_worker_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+        const size_t nw = workers_.size();
+        size_t w = static_cast<size_t>(
+            next_worker_.fetch_add(1, std::memory_order_relaxed) % nw);
+        // Skip workers that died on an epoll failure — a connection assigned
+        // to one would never be adopted and hang until the client times out.
+        // (If every worker is dead, the Enqueue below still lands somewhere;
+        // Worker::Join drains and closes unadopted connections at Stop().)
+        for (size_t probe = 0; probe < nw && workers_[w]->exited(); ++probe) {
+          w = (w + 1) % nw;
+        }
         workers_[w]->Enqueue(c);
         accepts_.fetch_add(1, std::memory_order_relaxed);
         metrics::Inc(metrics::Counter::kServerAccepts);

@@ -137,7 +137,8 @@ TEST_F(MetricsTest, ToJsonGolden) {
             "\"tail_models_appended\":0,\"batch_lookups\":0,"
             "\"batch_scalar_fallbacks\":0,\"server_accepts\":0,"
             "\"server_frames_in\":0,\"server_batch_flushes\":0,"
-            "\"server_batch_keys\":0,\"server_malformed_frames\":0},"
+            "\"server_batch_keys\":0,\"server_malformed_frames\":0,"
+            "\"server_worker_failures\":0},"
             "\"fp_hit_depth\":[0,0,0,0,1,0,0,0,0],"
             "\"gauges\":{\"num_models\":5,\"live_keys\":0},"
             "\"events\":[{\"type\":\"tail_model_append\",\"at_ns\":456,"

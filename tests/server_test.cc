@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/timer.h"
 #include "datasets/dataset.h"
 #include "server/client.h"
 #include "server/loadgen.h"
@@ -301,6 +302,61 @@ TEST_F(ServerTest, PipelinedResponsesArriveInRequestOrder) {
   }
 }
 
+TEST_F(ServerTest, ErrorResponsesDoNotOvertakeCoalescedGets) {
+  StartServer();
+  KvClient c;
+  ASSERT_TRUE(Connect(&c).ok());
+
+  // Two GETs are sitting in the coalescing batch when the unknown-opcode
+  // frame is decoded; its error reply must flush them first, or a
+  // positionally-matching client mis-attributes every later response.
+  std::vector<uint8_t> raw;
+  AppendGet(&raw, 1, keys_[10]);
+  AppendGet(&raw, 2, keys_[20]);
+  AppendHeader(&raw, 0x6E, /*request_id=*/3, /*body_len=*/0);
+  AppendGet(&raw, 4, keys_[30]);
+  ASSERT_EQ(send(c.fd(), raw.data(), raw.size(), 0),
+            static_cast<ssize_t>(raw.size()));
+
+  Response r;
+  ASSERT_TRUE(c.ReceiveResponse(&r).ok());
+  EXPECT_EQ(r.request_id, 1u);
+  EXPECT_EQ(r.status, RespStatus::kOk);
+  EXPECT_EQ(r.value, ValueFor(keys_[10]));
+  ASSERT_TRUE(c.ReceiveResponse(&r).ok());
+  EXPECT_EQ(r.request_id, 2u);
+  EXPECT_EQ(r.status, RespStatus::kOk);
+  ASSERT_TRUE(c.ReceiveResponse(&r).ok());
+  EXPECT_EQ(r.request_id, 3u);
+  EXPECT_EQ(r.status, RespStatus::kUnsupported);
+  ASSERT_TRUE(c.ReceiveResponse(&r).ok());
+  EXPECT_EQ(r.request_id, 4u);
+  EXPECT_EQ(r.status, RespStatus::kOk);
+}
+
+TEST_F(ServerTest, RevisitWorkIsNotDelayedByEpollTimeout) {
+  ServerOptions opt;
+  opt.max_frames_per_drain = 4;
+  StartServer(opt);
+  KvClient c;
+  ASSERT_TRUE(Connect(&c).ok());
+
+  constexpr int kN = 64;
+  for (int i = 0; i < kN; ++i) c.QueueGet(keys_[static_cast<size_t>(i)]);
+  const uint64_t t0 = NowNanos();
+  ASSERT_TRUE(c.Flush().ok());
+  Response r;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(c.ReceiveResponse(&r).ok());
+    EXPECT_EQ(r.status, RespStatus::kOk);
+  }
+  // 64 frames at 4 per drain = 16 revisit cycles. If each revisit waited out
+  // the 200ms epoll timeout (ET gives no kernel event for already-read
+  // bytes) this would take >3s; with zero-timeout revisit polling it is
+  // milliseconds. The bound leaves ample slack for slow CI.
+  EXPECT_LT(NowNanos() - t0, 1500ull * 1000000ull);
+}
+
 TEST_F(ServerTest, MalformedFramesGetErrorResponses) {
   StartServer();
   KvClient c;
@@ -328,13 +384,18 @@ TEST_F(ServerTest, MalformedFramesGetErrorResponses) {
   EXPECT_EQ(r.status, RespStatus::kMalformed);
   EXPECT_FALSE(c.ReceiveResponse(&r).ok());  // connection closed
 
-  // Oversized length prefix: undecodable → kMalformed (id 0) and close.
+  // Oversized length prefix: undecodable → kMalformed (id 0) and close. A
+  // valid GET coalesced just before must still be answered first.
   KvClient c2;
   ASSERT_TRUE(Connect(&c2).ok());
   raw.clear();
-  AppendHeader(&raw, static_cast<uint8_t>(Op::kGet), 7, kMaxBodyLen + 1);
+  AppendGet(&raw, 7, keys_[2]);
+  AppendHeader(&raw, static_cast<uint8_t>(Op::kGet), 8, kMaxBodyLen + 1);
   ASSERT_EQ(send(c2.fd(), raw.data(), raw.size(), 0),
             static_cast<ssize_t>(raw.size()));
+  ASSERT_TRUE(c2.ReceiveResponse(&r).ok());
+  EXPECT_EQ(r.request_id, 7u);
+  EXPECT_EQ(r.status, RespStatus::kOk);
   ASSERT_TRUE(c2.ReceiveResponse(&r).ok());
   EXPECT_EQ(r.request_id, 0u);
   EXPECT_EQ(r.status, RespStatus::kMalformed);
